@@ -1,0 +1,172 @@
+// Ablations for the design choices DESIGN.md section 4 calls out:
+//   1. storage-accounting granularity — value bits vs value+metadata, as a
+//      function of B = log2|V|: the metadata is the paper's o(log|V|) term
+//      and must vanish relative to B;
+//   2. scheduler policy — measured storage peaks under deterministic
+//      round-robin vs seeded random interleavings;
+//   3. garbage-collection policy — CAS vs CASGC(delta) steady-state storage;
+//   4. code dimension — CAS parked-write storage across k = 1..N-2f, the
+//      replication <-> erasure spectrum.
+#include <iostream>
+#include <optional>
+
+#include "algo/abd/system.h"
+#include "algo/cas/system.h"
+#include "algo/ldr/ldr.h"
+#include "common/table.h"
+#include "sim/scheduler.h"
+#include "workload/driver.h"
+#include "workload/park.h"
+
+namespace {
+
+using namespace memu;
+
+// --- 1. accounting granularity -------------------------------------------------
+
+void accounting_granularity() {
+  std::cout << "--- Ablation 1: metadata is o(log|V|) ---\n";
+  Table t({"B_bits", "abd_val/B", "abd_all/B", "cas_val/B", "cas_all/B"}, 12);
+  for (const std::size_t value_size : {16u, 120u, 1024u, 8192u}) {
+    const double B = 8.0 * static_cast<double>(value_size);
+
+    abd::Options aopt;
+    aopt.value_size = value_size;
+    abd::System asys = abd::make_system(aopt);
+    const auto arep = workload::park_active_writes(asys, 1, value_size);
+
+    cas::Options copt;
+    copt.value_size = value_size;
+    copt.n_writers = 1;
+    cas::System csys = cas::make_system(copt);
+    const auto crep = workload::park_active_writes(csys, 1, value_size);
+
+    t.row()
+        .cell(static_cast<std::size_t>(B))
+        .cell(arep.normalized_peak_total(B))
+        .cell(arep.normalized_peak_total_with_metadata(B))
+        .cell(crep.normalized_peak_total(B))
+        .cell(crep.normalized_peak_total_with_metadata(B));
+  }
+  t.print();
+  std::cout << "-> the value columns are flat; the +metadata columns "
+               "converge to them as B grows: tags are o(log|V|).\n\n";
+}
+
+// --- 2. scheduler policy --------------------------------------------------------
+
+void scheduler_policy() {
+  std::cout << "--- Ablation 2: scheduler policy vs peak storage (CAS, "
+               "2 writers x 3 writes) ---\n";
+  Table t({"schedule", "peak_total/B", "deliveries"}, 14);
+  const std::size_t value_size = 120;
+  const double B = 8.0 * value_size;
+
+  auto run_policy = [&](Scheduler::Policy policy, std::uint64_t seed,
+                        const std::string& label) {
+    cas::Options opt;
+    opt.n_writers = 2;
+    opt.n_readers = 0;
+    opt.value_size = value_size;
+    cas::System sys = cas::make_system(opt);
+    workload::Options wopt;
+    wopt.writes_per_writer = 3;
+    wopt.reads_per_reader = 0;
+    wopt.value_size = value_size;
+    wopt.policy = policy;
+    wopt.seed = seed;
+    const auto res = workload::run(sys.world, sys.writers, sys.readers, wopt);
+    t.row().cell(label).cell(res.storage.peak_total.value_bits / B).cell(
+        res.steps);
+  };
+
+  run_policy(Scheduler::Policy::kRoundRobin, 0, "round-robin");
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 1337ull})
+    run_policy(Scheduler::Policy::kRandom, seed,
+               "random/" + std::to_string(seed));
+  t.print();
+  std::cout << "-> fair schedules (any seed) keep writes pipelined and hit "
+               "similar peaks; the worst case (nu stalled versions "
+               "everywhere) needs the adversarial parked-write driver, not "
+               "a fair schedule — which is why the paper's upper bounds "
+               "are worst-case statements.\n\n";
+}
+
+// --- 3. garbage collection -------------------------------------------------------
+
+void gc_policy() {
+  std::cout << "--- Ablation 3: GC policy — storage after 8 sequential "
+               "writes (N=5, f=1, k=3) ---\n";
+  Table t({"variant", "final_total/B", "srv0_versions"}, 18);
+  const std::size_t value_size = 60;
+  const double B = 8.0 * value_size;
+
+  auto run_variant = [&](std::optional<std::size_t> delta,
+                         const std::string& label) {
+    cas::Options opt;
+    opt.value_size = value_size;
+    opt.n_writers = 1;
+    opt.delta = delta;
+    cas::System sys = cas::make_system(opt);
+    workload::Options wopt;
+    wopt.writes_per_writer = 8;
+    wopt.reads_per_reader = 0;
+    wopt.value_size = value_size;
+    workload::run(sys.world, sys.writers, sys.readers, wopt);
+    Scheduler sched;
+    sched.drain(sys.world, 1'000'000);
+    const auto& server =
+        dynamic_cast<const cas::Server&>(sys.world.process(sys.servers[0]));
+    t.row()
+        .cell(label)
+        .cell(sys.world.total_server_storage().value_bits / B)
+        .cell(server.stored_versions());
+  };
+
+  run_variant(std::nullopt, "cas (no GC)");
+  run_variant(std::size_t{0}, "casgc d=0");
+  run_variant(std::size_t{1}, "casgc d=1");
+  run_variant(std::size_t{3}, "casgc d=3");
+  t.print();
+  std::cout << "-> plain CAS accretes one coded version per write ever "
+               "issued; CASGC holds delta+1.\n\n";
+}
+
+// --- 4. code dimension -------------------------------------------------------------
+
+void code_dimension() {
+  std::cout << "--- Ablation 4: code dimension k, nu = 2 parked writes "
+               "(N=9, f=2 => k <= 5) ---\n";
+  Table t({"k", "peak_total/B", "model_(nu+1)N/k"}, 16);
+  const std::size_t value_size = 120;
+  const double B = 8.0 * value_size;
+  for (std::size_t k = 1; k <= 5; ++k) {
+    cas::Options opt;
+    opt.n_servers = 9;
+    opt.f = 2;
+    opt.k = k;
+    opt.n_writers = 2;
+    opt.value_size = value_size;
+    cas::System sys = cas::make_system(opt);
+    const auto rep = workload::park_active_writes(sys, 2, value_size);
+    t.row()
+        .cell(k)
+        .cell(rep.normalized_peak_total(B))
+        .cell(3.0 * 9.0 / static_cast<double>(k));
+  }
+  t.print();
+  std::cout << "-> k = 1 is replication-per-version; k = N-2f is maximal "
+               "erasure coding. The spectrum is the horizontal axis of the "
+               "paper's replication-vs-coding tradeoff.\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Storage ablations (DESIGN.md section 4) ===\n\n";
+  accounting_granularity();
+  scheduler_policy();
+  gc_policy();
+  code_dimension();
+  return 0;
+}

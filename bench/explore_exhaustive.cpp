@@ -1,0 +1,205 @@
+// Exhaustive interleaving exploration of small configurations: upgrades the
+// seed-sweep evidence ("no violation in 20 random schedules") to a proof
+// over ALL per-channel-FIFO schedules for small systems.
+//
+// Verifies, for every reachable state / terminal state:
+//   * ABD (write-back reads): atomicity of every terminal history, liveness
+//     (quiescence implies responses), and unreachability of the new-old
+//     inversion state;
+//   * ABD (one-phase regular reads): the inversion state IS reachable —
+//     the explorer exhibits the counterexample;
+//   * CAS: atomicity of every terminal history at N=3, f=1;
+//   * storage invariant: ABD servers never exceed one value (B bits) at any
+//     reachable state — the replication cost is exact, not just typical.
+#include <iostream>
+
+#include "algo/abd/system.h"
+#include "algo/cas/system.h"
+#include "common/table.h"
+#include "consistency/checker.h"
+#include "sim/explorer.h"
+
+namespace {
+
+using namespace memu;
+
+constexpr std::size_t kValueBytes = 12;
+
+void report(const std::string& name, const ExploreResult& r,
+            bool expect_violation = false) {
+  std::cout << "  " << name << ": states=" << r.states_visited
+            << " terminals=" << r.terminal_states
+            << " transitions=" << r.transitions << " merged=" << r.deduped
+            << " complete=" << (r.complete ? "yes" : "NO");
+  if (expect_violation) {
+    std::cout << "  -> counterexample "
+              << (!r.ok ? "FOUND (" + std::to_string(r.violation_path.size()) +
+                              " deliveries): " + r.violation
+                        : "MISSING (unexpected)");
+  } else {
+    std::cout << "  -> " << (r.ok ? "VERIFIED" : "VIOLATION: " + r.violation);
+  }
+  std::cout << '\n';
+}
+
+// Enumerate the TRUE reachable per-server state sets over all values and
+// all schedules of a tiny configuration — the |S_i| of the theorems,
+// measured rather than bounded. The paper's Theorem B.1 requires
+// sum_i log2|S_i| >= log2|V| over any N - f live servers; exploration shows
+// how much slack real protocols leave.
+void state_space_census() {
+  constexpr std::size_t kDomain = 4;  // |V|
+  constexpr std::size_t kValueBytes = 12;
+
+  std::map<std::uint32_t, std::set<Bytes>> reachable;  // server -> states
+  std::size_t total_states = 0;
+
+  for (std::size_t v = 1; v <= kDomain; ++v) {
+    abd::Options opt;
+    opt.n_servers = 3;
+    opt.f = 1;
+    opt.single_writer = true;
+    opt.value_size = kValueBytes;
+    abd::System sys = abd::make_system(opt);
+    sys.world.crash(sys.servers[2]);  // the proofs' failed f-subset
+    sys.world.invoke(sys.writers[0],
+                     {OpType::kWrite, enum_value(v, kValueBytes)});
+
+    const auto res = explore(
+        sys.world, ExploreOptions{},
+        [&](const World& w) -> std::optional<std::string> {
+          for (const NodeId s : sys.servers) {
+            if (w.is_crashed(s)) continue;
+            reachable[s.value].insert(w.process(s).encode_state());
+          }
+          return std::nullopt;
+        },
+        {});
+    total_states += res.states_visited;
+  }
+
+  double sum_log2 = 0;
+  std::cout << "  ABD N=3 f=1, |V|=" << kDomain
+            << ", all schedules of one write: per-live-server reachable "
+               "states:";
+  for (const auto& [server, states] : reachable) {
+    std::cout << ' ' << states.size();
+    sum_log2 += std::log2(static_cast<double>(states.size()));
+  }
+  std::cout << "\n    sum_i log2|S_i| = " << sum_log2
+            << " >= log2|V| = " << std::log2(double(kDomain))
+            << " (Theorem B.1)  [" << total_states
+            << " world states explored]\n";
+}
+
+void abd_exhaustive() {
+  const Value v0 = enum_value(0, kValueBytes);
+  abd::Options opt;
+  opt.n_servers = 3;
+  opt.f = 1;
+  opt.single_writer = true;
+  opt.value_size = kValueBytes;
+  abd::System sys = abd::make_system(opt);
+  sys.world.invoke(sys.writers[0],
+                   {OpType::kWrite, unique_value(1, 1, kValueBytes)});
+  sys.world.invoke(sys.readers[0], {OpType::kRead, {}});
+
+  const double B = 8.0 * kValueBytes;
+  const auto res = explore(
+      sys.world, ExploreOptions{},
+      [&](const World& w) -> std::optional<std::string> {
+        // Replication storage is exactly one value per server, always.
+        for (const NodeId s : sys.servers) {
+          if (w.is_crashed(s)) continue;
+          if (w.process(s).state_size().value_bits != B)
+            return "server stores more than one value";
+        }
+        return std::nullopt;
+      },
+      [&](const World& w) -> std::optional<std::string> {
+        if (w.oplog().responses_since(0) < 2) return "operation stuck";
+        const auto verdict = check_atomic(History::from_oplog(w.oplog()), v0);
+        if (!verdict.ok) return verdict.violation;
+        return std::nullopt;
+      });
+  report("ABD  N=3 f=1, write || read, atomic + storage==N*B", res);
+}
+
+void abd_inversion() {
+  const Value v1 = unique_value(1, 1, kValueBytes);
+  auto run_one = [&](bool write_back) {
+    abd::Options opt;
+    opt.n_servers = 3;
+    opt.f = 1;
+    opt.single_writer = true;
+    opt.read_write_back = write_back;
+    opt.value_size = kValueBytes;
+    abd::System sys = abd::make_system(opt);
+    sys.world.invoke(sys.writers[0], {OpType::kWrite, v1});
+    sys.world.invoke(sys.readers[0], {OpType::kRead, {}});
+    return explore(
+        sys.world, ExploreOptions{},
+        [&sys, v1](const World& w) -> std::optional<std::string> {
+          bool saw_new = false;
+          for (const auto& e : w.oplog().events())
+            if (e.kind == OpEvent::Kind::kResponse &&
+                e.type == OpType::kRead && e.value == v1)
+              saw_new = true;
+          if (!saw_new) return std::nullopt;
+          std::size_t stale = 0;
+          for (const NodeId s : sys.servers)
+            if (dynamic_cast<const abd::Server&>(w.process(s)).tag() ==
+                Tag::initial())
+              ++stale;
+          if (stale >= 2) return "new-old inversion state reached";
+          return std::nullopt;
+        },
+        {});
+  };
+  report("ABD  one-phase reads: inversion reachable?", run_one(false),
+         /*expect_violation=*/true);
+  report("ABD  write-back reads: inversion unreachable", run_one(true));
+}
+
+void cas_exhaustive() {
+  const Value v0 = enum_value(0, kValueBytes);
+  cas::Options opt;
+  opt.n_servers = 3;
+  opt.f = 1;
+  opt.k = 1;
+  opt.value_size = kValueBytes;
+  opt.n_writers = 1;
+  cas::System sys = cas::make_system(opt);
+  sys.world.invoke(sys.writers[0],
+                   {OpType::kWrite, unique_value(1, 1, kValueBytes)});
+  sys.world.invoke(sys.readers[0], {OpType::kRead, {}});
+
+  ExploreOptions eopt;
+  eopt.max_states = 2'000'000;
+  const auto res = explore(
+      sys.world, eopt, {},
+      [&](const World& w) -> std::optional<std::string> {
+        if (w.oplog().responses_since(0) < 2) return "operation stuck";
+        const auto verdict = check_atomic(History::from_oplog(w.oplog()), v0);
+        if (!verdict.ok) return verdict.violation;
+        return std::nullopt;
+      });
+  report("CAS  N=3 f=1 k=1, write || read, atomic + live", res);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Exhaustive interleaving exploration (all FIFO "
+               "schedules, canonical-state dedup) ===\n\n";
+  abd_exhaustive();
+  abd_inversion();
+  cas_exhaustive();
+  std::cout << "\n--- State-space census (the theorems' |S_i|, measured) "
+               "---\n";
+  state_space_census();
+  std::cout << "\nEvery 'VERIFIED' line quantifies over the FULL schedule "
+               "space of the configuration, not a sample; 'counterexample "
+               "FOUND' exhibits the regular-vs-atomic gap automatically.\n";
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Figure 1, measured companion: instead of quoting the analytic upper
+// bounds, run the real algorithms in the simulator with nu parked (active)
+// writes and measure peak total storage.
+//
+// Shape claims to reproduce:
+//   * ABD (replication) is FLAT in nu at N * B value bits (the idealized
+//     f+1 deployment stores the value at only f+1 of the servers; the
+//     majority-quorum deployment we simulate stores it at all N — both are
+//     Theta(f) when N = 2f+1).
+//   * CAS/CASGC (erasure, code dimension k) grows LINEARLY in nu at
+//     (nu+1) * N/k * B value bits.
+//   * the crossover between them moves exactly as Section 2.3 predicts.
+//
+// Two configurations: Figure 1's N=21, f=10 (where k = N-2f = 1 makes
+// erasure coding useless — the f ~ N/2 regime), and N=21, f=5 (k = 11,
+// where erasure coding wins for small nu).
+#include <iostream>
+
+#include "algo/abd/system.h"
+#include "algo/cas/system.h"
+#include "algo/ldr/ldr.h"
+#include "algo/strip/strip.h"
+#include "bounds/bounds.h"
+#include "common/table.h"
+#include "sim/scheduler.h"
+#include "workload/driver.h"
+#include "workload/park.h"
+
+namespace {
+
+constexpr std::size_t kValueSize = 120;  // bytes; B = 960 bits
+constexpr double kB = 8.0 * kValueSize;
+
+double measured_abd(std::size_t n, std::size_t f, std::size_t nu) {
+  memu::abd::Options opt;
+  opt.n_servers = n;
+  opt.f = f;
+  opt.n_writers = nu;
+  opt.value_size = kValueSize;
+  memu::abd::System sys = memu::abd::make_system(opt);
+  return memu::workload::park_active_writes(sys, nu, kValueSize)
+      .normalized_peak_total(kB);
+}
+
+double measured_cas(std::size_t n, std::size_t f, std::size_t k,
+                    std::size_t nu, std::optional<std::size_t> delta) {
+  memu::cas::Options opt;
+  opt.n_servers = n;
+  opt.f = f;
+  opt.k = k;
+  opt.n_writers = nu;
+  opt.value_size = kValueSize;
+  opt.delta = delta;
+  memu::cas::System sys = memu::cas::make_system(opt);
+  return memu::workload::park_active_writes(sys, nu, kValueSize)
+      .normalized_peak_total(kB);
+}
+
+void run_config(std::size_t n, std::size_t f, std::size_t nu_max) {
+  using namespace memu::bounds;
+  const std::size_t k = n - 2 * f;
+  std::cout << "--- N=" << n << " f=" << f << " (CAS code dimension k=" << k
+            << ", shard = B/" << k << ") ---\n";
+  memu::Table t({"nu", "abd_meas", "cas_meas", "casgc_meas", "cas_model",
+                 "erasure_ub", "thm6.5_lb"},
+                12);
+  const Params p{n, f, kB};
+  for (std::size_t nu = 1; nu <= nu_max; ++nu) {
+    t.row()
+        .cell(nu)
+        .cell(measured_abd(n, f, nu))
+        .cell(measured_cas(n, f, k, nu, std::nullopt))
+        .cell(measured_cas(n, f, k, nu, std::size_t{nu}))
+        .cell(cas_total(p, nu, k) / kB)
+        .cell(erasure_normalized(n, f, nu))
+        .cell(restricted_normalized(n, f, nu));
+  }
+  t.print();
+  std::cout << '\n';
+}
+
+// Steady-state (quiescent) value storage of an N-server deployment after
+// `writes` sequential writes, normalized by B.
+double steady_state_ldr(std::size_t n, std::size_t f, std::size_t writes) {
+  memu::ldr::Options opt;
+  opt.n_servers = n;
+  opt.f = f;
+  opt.value_size = kValueSize;
+  memu::ldr::System sys = memu::ldr::make_system(opt);
+  memu::workload::Options wopt;
+  wopt.writes_per_writer = writes;
+  wopt.reads_per_reader = 0;
+  wopt.value_size = kValueSize;
+  memu::workload::run(sys.world, sys.writers, sys.readers, wopt);
+  memu::Scheduler sched;
+  sched.drain(sys.world, 1'000'000);
+  return sys.world.total_server_storage().value_bits / kB;
+}
+
+double steady_state_abd(std::size_t n, std::size_t f, std::size_t writes) {
+  memu::abd::Options opt;
+  opt.n_servers = n;
+  opt.f = f;
+  opt.value_size = kValueSize;
+  memu::abd::System sys = memu::abd::make_system(opt);
+  memu::workload::Options wopt;
+  wopt.writes_per_writer = writes;
+  wopt.reads_per_reader = 0;
+  wopt.value_size = kValueSize;
+  memu::workload::run(sys.world, sys.writers, sys.readers, wopt);
+  memu::Scheduler sched;
+  sched.drain(sys.world, 1'000'000);
+  return sys.world.total_server_storage().value_bits / kB;
+}
+
+double steady_state_strip(std::size_t n, std::size_t f, std::size_t writes) {
+  memu::strip::Options opt;
+  opt.n_servers = n;
+  opt.f = f;
+  opt.value_size = kValueSize;
+  opt.delta = 0;  // keep only the newest committed version
+  memu::strip::System sys = memu::strip::make_system(opt);
+  memu::workload::Options wopt;
+  wopt.writes_per_writer = writes;
+  wopt.reads_per_reader = 0;
+  wopt.value_size = kValueSize;
+  memu::workload::run(sys.world, sys.writers, sys.readers, wopt);
+  memu::Scheduler sched;
+  sched.drain(sys.world, 1'000'000);
+  return sys.world.total_server_storage().value_bits / kB;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 1, measured: peak total storage / B with nu "
+               "active (parked) writes ===\n"
+            << "(value bits only; metadata is the o(log|V|) term)\n\n";
+
+  // The paper's exact parameters: f ~ N/2 forces k = 1 — coded elements are
+  // full copies, so "erasure" degenerates and replication is optimal, which
+  // is exactly what Theorem 6.5's plateau at f+1 says.
+  run_config(21, 10, 8);
+
+  // A regime where erasure coding genuinely helps (k = 11): CAS stores
+  // (nu+1) * 21/11 * B versus ABD's flat 21 * B. The measured crossover
+  // matches the analytic erasure-vs-replication crossover of Section 2.3.
+  run_config(21, 5, 12);
+
+  // Small system used throughout the test suite, for cross-checking.
+  run_config(5, 1, 4);
+
+  std::cout << "Expected shapes: abd_meas flat at N; cas_meas == cas_model "
+               "== (nu+1)*N/k; measured curves bracket the analytic "
+               "erasure upper bound and respect the Thm 6.5 lower bound "
+               "within their liveness class.\n\n";
+
+  // Figure 1 plots the replication line at the IDEALIZED f + 1, not at the
+  // N of a majority-quorum ABD deployment. LDR (Fan-Lynch, the paper's
+  // reference [13]) actually achieves it: values live on f + 1 replicas,
+  // all N servers keep o(B) directory metadata.
+  std::cout << "=== Idealized lines, achieved: steady-state value storage "
+               "/ B after sequential writes ===\n\n";
+  memu::Table t({"N", "f", "abd_meas", "ldr_meas", "fig1_abd", "strip_meas",
+                 "N/(N-f)"},
+                12);
+  for (const auto& [n, f] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {5, 2}, {9, 2}, {21, 10}, {21, 5}}) {
+    t.row()
+        .cell(n)
+        .cell(f)
+        .cell(steady_state_abd(n, f, 3))
+        .cell(steady_state_ldr(n, f, 3))
+        .cell(memu::bounds::abd_ideal_normalized(f))
+        .cell(steady_state_strip(n, f, 3))
+        .cell(memu::bounds::singleton_normalized(n, f));
+  }
+  t.print();
+  std::cout
+      << "\nldr_meas == f + 1 == Figure 1's 'ABD algorithm' line (values on "
+         "f+1 replicas, metadata everywhere); plain ABD pays N because "
+         "every majority-quorum server stores the value.\n"
+         "strip_meas ~= N/(N-f): StripStore (optimistic coding a la [12], "
+         "k = N - f with strip-on-commit) meets the per-version Singleton "
+         "optimum that the paper's erasure line nu*N/(N-f) is built from — "
+         "the small excess over N/(N-f) is shard padding ceil(B/8k) and, "
+         "at nu active writes, it pays full values (see the parked tables "
+         "above for CAS's opposite tradeoff).\n";
+  return 0;
+}

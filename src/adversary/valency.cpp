@@ -1,0 +1,124 @@
+#include "adversary/valency.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "sim/scheduler.h"
+
+namespace memu::adversary {
+
+namespace {
+
+// DFS over all delivery schedules of the probe extension; a branch ends
+// when the read responds (its value is collected) or quiesces.
+class ValencyExplorer {
+ public:
+  ValencyExplorer(std::size_t base_events, std::size_t max_states)
+      : base_events_(base_events), max_states_(max_states) {}
+
+  void walk(const World& w) {
+    const Bytes key = w.canonical_encoding();
+    if (!visited_.insert(std::string(key.begin(), key.end())).second) return;
+    MEMU_CHECK_MSG(visited_.size() <= max_states_,
+                   "exact valency probe exceeded its state budget");
+
+    // Did the read respond in this state?
+    const auto& events = w.oplog().events();
+    for (std::size_t i = base_events_; i < events.size(); ++i) {
+      if (events[i].kind == OpEvent::Kind::kResponse &&
+          events[i].type == OpType::kRead) {
+        values_.insert(events[i].value);
+        return;  // branch decided; no need to go deeper
+      }
+    }
+    for (const ChannelId chan : w.deliverable_channels()) {
+      for (const std::size_t index : w.deliverable_indices(chan)) {
+        World next = w;
+        next.deliver(chan, index);
+        walk(next);
+      }
+    }
+  }
+
+  std::set<Value> take() && { return std::move(values_); }
+
+ private:
+  std::size_t base_events_;
+  std::size_t max_states_;
+  std::unordered_set<std::string> visited_;
+  std::set<Value> values_;
+};
+
+}  // namespace
+
+std::optional<Value> probe_read(const World& at, NodeId writer, NodeId reader,
+                                const ProbeOptions& opt) {
+  World w = at;  // deep copy: the probe never disturbs the real execution
+  w.freeze(writer);
+
+  if (opt.flush_gossip) {
+    // Deliver every pending server-to-server message (Definition 5.3 lets
+    // the inter-server channels act before the read is invoked).
+    for (;;) {
+      bool delivered = false;
+      for (const ChannelId chan : w.deliverable_channels()) {
+        if (w.process(chan.src).is_server() &&
+            w.process(chan.dst).is_server()) {
+          w.deliver(chan);
+          delivered = true;
+          break;  // channel list may have changed; re-enumerate
+        }
+      }
+      if (!delivered) break;
+    }
+  }
+
+  const std::size_t base_events = w.oplog().size();
+  w.invoke(reader, Invocation{OpType::kRead, {}});
+
+  Scheduler sched(Scheduler::Policy::kRoundRobin);
+  const bool done = sched.run_until(
+      w,
+      [base_events](const World& x) {
+        return x.oplog().responses_since(base_events) >= 1;
+      },
+      opt.max_steps);
+  if (!done) return std::nullopt;
+
+  const auto& events = w.oplog().events();
+  for (std::size_t i = base_events; i < events.size(); ++i) {
+    if (events[i].kind == OpEvent::Kind::kResponse &&
+        events[i].type == OpType::kRead)
+      return events[i].value;
+  }
+  return std::nullopt;
+}
+
+std::set<Value> probe_read_all_values(const World& at, NodeId writer,
+                                      NodeId reader, const ProbeOptions& opt,
+                                      std::size_t max_states) {
+  World w = at;
+  w.freeze(writer);
+  if (opt.flush_gossip) {
+    for (;;) {
+      bool delivered = false;
+      for (const ChannelId chan : w.deliverable_channels()) {
+        if (w.process(chan.src).is_server() &&
+            w.process(chan.dst).is_server()) {
+          w.deliver(chan);
+          delivered = true;
+          break;
+        }
+      }
+      if (!delivered) break;
+    }
+  }
+  const std::size_t base_events = w.oplog().size();
+  w.invoke(reader, Invocation{OpType::kRead, {}});
+
+  ValencyExplorer explorer(base_events, max_states);
+  explorer.walk(w);
+  return std::move(explorer).take();
+}
+
+}  // namespace memu::adversary

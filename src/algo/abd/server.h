@@ -1,0 +1,45 @@
+// ABD server: stores exactly one (tag, value) pair — the replication storage
+// scheme whose cost Figure 1's "ABD" line idealizes.
+#pragma once
+
+#include "algo/abd/messages.h"
+#include "registers/tag.h"
+#include "registers/value.h"
+#include "sim/process.h"
+
+namespace memu::abd {
+
+class Server final : public CloneableProcess<Server> {
+ public:
+  // Servers start holding the default initial value v0 with the initial tag,
+  // matching the paper's model where a read that precedes every write
+  // returns v0.
+  explicit Server(Value initial_value)
+      : tag_(Tag::initial()), value_(std::move(initial_value)) {}
+
+  void on_message(Context& ctx, NodeId from,
+                  const MessagePayload& msg) override;
+
+  StateBits state_size() const override {
+    return {static_cast<double>(value_.size()) * 8.0, Tag::kBits};
+  }
+
+  Bytes encode_state() const override {
+    BufWriter w;
+    tag_.encode(w);
+    w.bytes(value_);
+    return std::move(w).take();
+  }
+
+  std::string name() const override { return "abd.server"; }
+  bool is_server() const override { return true; }
+
+  const Tag& tag() const { return tag_; }
+  const Value& value() const { return value_; }
+
+ private:
+  Tag tag_;
+  Value value_;
+};
+
+}  // namespace memu::abd

@@ -1,0 +1,34 @@
+// Assembly helper: builds a World populated with an ABD system
+// (N servers, writers, readers) matching the paper's model parameters.
+#pragma once
+
+#include <vector>
+
+#include "algo/abd/client.h"
+#include "algo/abd/server.h"
+#include "sim/world.h"
+
+namespace memu::abd {
+
+struct Options {
+  std::size_t n_servers = 5;
+  std::size_t f = 2;  // tolerated server failures; requires n >= 2f + 1
+  std::size_t n_writers = 1;
+  std::size_t n_readers = 1;
+  std::size_t value_size = 64;  // bytes; B = 8 * value_size bits
+  bool single_writer = false;   // one-phase SWMR writer
+  bool read_write_back = true;  // false: one-phase reads, regular-only
+  Value initial_value;          // default: enum_value(0)
+};
+
+struct System {
+  World world;
+  std::vector<NodeId> servers;
+  std::vector<NodeId> writers;
+  std::vector<NodeId> readers;
+  std::size_t quorum = 0;
+};
+
+System make_system(const Options& opt);
+
+}  // namespace memu::abd

@@ -1,0 +1,108 @@
+// CAS write and read clients.
+//
+// Writer: query (max finalized tag) -> pre-write (coded element per server)
+// -> finalize. Reader: query -> read-finalize; completes after a quorum of
+// acks AND k coded elements, then decodes. A read that learns its target tag
+// was garbage-collected under it (CASGC with concurrency above delta)
+// restarts from the query phase.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "algo/cas/messages.h"
+#include "codec/codec.h"
+#include "registers/tag.h"
+#include "registers/value.h"
+#include "sim/process.h"
+
+namespace memu::cas {
+
+class Writer final : public CloneableProcess<Writer> {
+ public:
+  // `servers[i]` stores coded element i. `quorum` = ceil((N + k) / 2).
+  // `hash_phase` inserts an announce round (per-server shard hashes) between
+  // query and pre-write — the two-value-dependent-phase shape of the
+  // Byzantine-tolerant algorithms [2, 15] covered by the paper's
+  // Section 6.5 conjecture (the hash phase carries only o(log|V|) bits).
+  Writer(std::vector<NodeId> servers, std::size_t quorum, CodecPtr codec,
+         std::uint32_t writer_id, bool hash_phase = false);
+
+  void on_invoke(Context& ctx, const Invocation& inv) override;
+  void on_message(Context& ctx, NodeId from,
+                  const MessagePayload& msg) override;
+
+  StateBits state_size() const override;
+  Bytes encode_state() const override;
+  std::string name() const override { return "cas.writer"; }
+
+  bool idle() const { return phase_ == Phase::kIdle; }
+  // Phase the write is currently in, for adversarial drivers that park
+  // writers between phases.
+  enum class Phase : std::uint8_t {
+    kIdle, kQuery, kAnnounce, kPreWrite, kFinalize
+  };
+  Phase phase() const { return phase_; }
+  Tag write_tag() const { return tag_; }
+
+ private:
+  void complete(Context& ctx);
+
+  void start_pre_write(Context& ctx);
+
+  std::vector<NodeId> servers_;
+  std::size_t quorum_;
+  CodecPtr codec_;
+  std::uint32_t writer_id_;
+  bool hash_phase_;
+
+  Phase phase_ = Phase::kIdle;
+  std::uint64_t rid_ = 0;
+  std::uint64_t op_id_ = 0;
+  Value pending_value_;
+  std::vector<Bytes> pending_shards_;  // encoded once at end of query phase
+  Tag tag_;
+  Tag max_seen_;
+  std::set<NodeId> replied_;
+};
+
+class Reader final : public CloneableProcess<Reader> {
+ public:
+  Reader(std::vector<NodeId> servers, std::size_t quorum, CodecPtr codec,
+         std::size_t value_size);
+
+  void on_invoke(Context& ctx, const Invocation& inv) override;
+  void on_message(Context& ctx, NodeId from,
+                  const MessagePayload& msg) override;
+
+  StateBits state_size() const override;
+  Bytes encode_state() const override;
+  std::string name() const override { return "cas.reader"; }
+
+  bool idle() const { return phase_ == Phase::kIdle; }
+  std::size_t restarts() const { return restarts_; }
+
+ private:
+  enum class Phase : std::uint8_t { kIdle, kQuery, kReadFin };
+
+  void start_query(Context& ctx);
+  void maybe_complete(Context& ctx);
+
+  std::vector<NodeId> servers_;
+  std::size_t quorum_;
+  CodecPtr codec_;
+  std::size_t value_size_;
+
+  Phase phase_ = Phase::kIdle;
+  std::uint64_t rid_ = 0;
+  std::uint64_t op_id_ = 0;
+  Tag target_;
+  Tag max_seen_;
+  std::set<NodeId> replied_;
+  std::map<NodeId, Bytes> shards_;
+  std::size_t gc_hits_ = 0;
+  std::size_t restarts_ = 0;
+};
+
+}  // namespace memu::cas

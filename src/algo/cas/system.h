@@ -1,0 +1,43 @@
+// Assembly helper for CAS/CASGC systems.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "algo/cas/client.h"
+#include "algo/cas/server.h"
+#include "sim/world.h"
+
+namespace memu::cas {
+
+struct Options {
+  std::size_t n_servers = 5;
+  std::size_t f = 1;          // requires k <= n - 2f
+  std::size_t k = 3;          // code dimension; 0 = use max (n - 2f)
+  std::size_t n_writers = 2;
+  std::size_t n_readers = 1;
+  std::size_t value_size = 60;  // bytes
+  std::optional<std::size_t> delta;  // CASGC concurrency bound; nullopt = CAS
+  bool hash_phase = false;  // announce shard hashes before pre-writing
+  Value initial_value;               // default enum_value(0)
+};
+
+struct System {
+  World world;
+  std::vector<NodeId> servers;
+  std::vector<NodeId> writers;
+  std::vector<NodeId> readers;
+  std::size_t quorum = 0;
+  CodecPtr codec;
+};
+
+// Quorum size used by CAS: ceil((N + k) / 2). Two quorums intersect in at
+// least k servers; liveness under f failures needs quorum <= N - f, i.e.
+// k <= N - 2f.
+inline std::size_t cas_quorum(std::size_t n, std::size_t k) {
+  return (n + k + 1) / 2;
+}
+
+System make_system(const Options& opt);
+
+}  // namespace memu::cas

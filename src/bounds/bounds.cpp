@@ -1,0 +1,208 @@
+#include "bounds/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace memu::bounds {
+
+namespace {
+
+void validate(const Params& p, std::size_t min_f) {
+  MEMU_CHECK_MSG(p.n > p.f, "need N > f");
+  MEMU_CHECK_MSG(p.f >= min_f, "theorem requires f >= " << min_f);
+  MEMU_CHECK_MSG(p.log2_v > 0, "need a non-trivial value domain");
+}
+
+// log2(|V| - 1), numerically exact for small B, and equal to B for large B
+// (where the difference underflows anyway).
+double log2_v_minus_1(const Params& p) {
+  if (p.log2_v > 50) return p.log2_v;
+  const double v = std::exp2(p.log2_v);
+  MEMU_CHECK_MSG(v >= 2, "|V| must be at least 2");
+  return std::log2(v - 1);
+}
+
+// log2 C(|V| - 1, r) with |V| possibly astronomically large.
+double log2_binom_v_minus_1(const Params& p, std::size_t r) {
+  if (p.log2_v > 50) {
+    // M - i == M to double precision; C(M, r) = M^r / r!.
+    return static_cast<double>(r) * p.log2_v - log2_factorial(r);
+  }
+  const double m = std::exp2(p.log2_v) - 1;  // |V| - 1
+  MEMU_CHECK_MSG(m >= static_cast<double>(r),
+                 "|V| - 1 must be at least nu*");
+  double bits = -log2_factorial(r);
+  for (std::size_t i = 0; i < r; ++i)
+    bits += std::log2(m - static_cast<double>(i));
+  return bits;
+}
+
+double nf(const Params& p) { return static_cast<double>(p.n - p.f); }
+
+}  // namespace
+
+std::size_t nu_star(std::size_t nu, std::size_t f) {
+  return std::min(nu, f + 1);
+}
+
+// ---- Theorem B.1 -----------------------------------------------------------
+
+double thm_b1_rhs(const Params& p) {
+  validate(p, 1);
+  return p.log2_v;
+}
+
+double singleton_total(const Params& p) {
+  validate(p, 1);
+  return static_cast<double>(p.n) * p.log2_v / nf(p);
+}
+
+double singleton_max(const Params& p) {
+  validate(p, 1);
+  return p.log2_v / nf(p);
+}
+
+double singleton_normalized(std::size_t n, std::size_t f) {
+  MEMU_CHECK(n > f);
+  return static_cast<double>(n) / static_cast<double>(n - f);
+}
+
+// ---- Theorem 4.1 -----------------------------------------------------------
+
+double thm_41_rhs(const Params& p) {
+  validate(p, 2);
+  return p.log2_v + log2_v_minus_1(p) - std::log2(nf(p));
+}
+
+double no_gossip_total(const Params& p) {
+  return static_cast<double>(p.n) * thm_41_rhs(p) / (nf(p) + 1);
+}
+
+double no_gossip_max(const Params& p) { return thm_41_rhs(p) / (nf(p) + 1); }
+
+double no_gossip_normalized(std::size_t n, std::size_t f) {
+  MEMU_CHECK(n > f);
+  return 2.0 * static_cast<double>(n) / static_cast<double>(n - f + 1);
+}
+
+// ---- Theorem 5.1 -----------------------------------------------------------
+
+double thm_51_rhs(const Params& p) {
+  validate(p, 1);
+  return p.log2_v + log2_v_minus_1(p) - 2 * std::log2(nf(p));
+}
+
+double universal_total(const Params& p) {
+  return static_cast<double>(p.n) * thm_51_rhs(p) / (nf(p) + 2);
+}
+
+double universal_max(const Params& p) { return thm_51_rhs(p) / (nf(p) + 2); }
+
+double universal_normalized(std::size_t n, std::size_t f) {
+  MEMU_CHECK(n > f);
+  return 2.0 * static_cast<double>(n) / static_cast<double>(n - f + 2);
+}
+
+// ---- Theorem 6.5 -----------------------------------------------------------
+
+double thm_65_rhs(const Params& p, std::size_t nu) {
+  validate(p, 1);
+  MEMU_CHECK_MSG(nu >= 1, "need at least one write");
+  const std::size_t ns = nu_star(nu, p.f);
+  const double span = static_cast<double>(p.n - p.f + ns - 1);
+  return log2_binom_v_minus_1(p, ns) -
+         static_cast<double>(ns) * std::log2(span) - log2_factorial(ns);
+}
+
+double restricted_total(const Params& p, std::size_t nu) {
+  const std::size_t ns = nu_star(nu, p.f);
+  const double span = static_cast<double>(p.n - p.f + ns - 1);
+  return static_cast<double>(p.n) * thm_65_rhs(p, nu) / span;
+}
+
+double restricted_max(const Params& p, std::size_t nu) {
+  const std::size_t ns = nu_star(nu, p.f);
+  const double span = static_cast<double>(p.n - p.f + ns - 1);
+  return thm_65_rhs(p, nu) / span;
+}
+
+double restricted_normalized(std::size_t n, std::size_t f, std::size_t nu) {
+  MEMU_CHECK(n > f);
+  MEMU_CHECK(nu >= 1);
+  const std::size_t ns = nu_star(nu, f);
+  return static_cast<double>(ns) * static_cast<double>(n) /
+         static_cast<double>(n - f + ns - 1);
+}
+
+// ---- Upper bounds ----------------------------------------------------------
+
+double abd_ideal_total(const Params& p) {
+  validate(p, 1);
+  return static_cast<double>(p.f + 1) * p.log2_v;
+}
+
+double abd_ideal_normalized(std::size_t f) {
+  return static_cast<double>(f + 1);
+}
+
+double abd_majority_total(const Params& p) {
+  validate(p, 1);
+  return static_cast<double>(p.n) * p.log2_v;
+}
+
+double erasure_total(const Params& p, std::size_t nu) {
+  validate(p, 1);
+  return static_cast<double>(nu) * static_cast<double>(p.n) * p.log2_v /
+         nf(p);
+}
+
+double erasure_normalized(std::size_t n, std::size_t f, std::size_t nu) {
+  MEMU_CHECK(n > f);
+  return static_cast<double>(nu) * static_cast<double>(n) /
+         static_cast<double>(n - f);
+}
+
+double cas_total(const Params& p, std::size_t nu, std::size_t k) {
+  validate(p, 1);
+  MEMU_CHECK_MSG(k >= 1 && k <= p.n - 2 * p.f,
+                 "CAS requires 1 <= k <= N - 2f");
+  return static_cast<double>(nu + 1) * static_cast<double>(p.n) * p.log2_v /
+         static_cast<double>(k);
+}
+
+// ---- Figure 1 ---------------------------------------------------------------
+
+std::vector<Figure1Row> figure1_series(std::size_t n, std::size_t f,
+                                       std::size_t nu_max) {
+  MEMU_CHECK(n > f);
+  MEMU_CHECK(nu_max >= 1);
+  std::vector<Figure1Row> rows;
+  rows.reserve(nu_max);
+  for (std::size_t nu = 1; nu <= nu_max; ++nu) {
+    Figure1Row r;
+    r.nu = nu;
+    r.thm_b1 = singleton_normalized(n, f);
+    r.thm_41 = no_gossip_normalized(n, f);
+    r.thm_51 = universal_normalized(n, f);
+    r.thm_65 = restricted_normalized(n, f, nu);
+    r.abd = abd_ideal_normalized(f);
+    r.erasure = erasure_normalized(n, f, nu);
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+// ---- Section 7 trichotomy ----------------------------------------------------
+
+TrichotomyVerdict classify_candidate(double g, std::size_t n, std::size_t f,
+                                     std::size_t nu) {
+  TrichotomyVerdict v;
+  v.below_universal = g < universal_normalized(n, f);
+  v.below_restricted = g < restricted_normalized(n, f, nu);
+  v.below_replication = g < abd_ideal_normalized(f);
+  return v;
+}
+
+}  // namespace memu::bounds

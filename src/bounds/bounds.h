@@ -1,0 +1,124 @@
+// Closed-form storage-cost bounds from the paper, in three flavors per
+// result:
+//   * the exact theorem right-hand side (constraint on server-state
+//     cardinalities, in bits, for finite |V|),
+//   * the corollary total/max storage lower bound for finite |V|, and
+//   * the normalized asymptotic coefficient (total storage / log2|V| as
+//     |V| -> infinity) that Figure 1 plots.
+//
+// Results covered:
+//   Theorem B.1 / Corollary B.2 — Singleton-type bound, any regular SWSR.
+//   Theorem 4.1 / Corollary 4.2 — no server gossip.
+//   Theorem 5.1 / Corollary 5.2 — universal (gossip allowed).
+//   Theorem 6.5 / Corollary 6.6 — single value-dependent write phase,
+//                                 concurrency-dependent.
+// Upper bounds plotted by Figure 1:
+//   ABD replication (idealized f+1, and the N-server majority deployment),
+//   erasure-coded algorithms (nu * N / (N - f)), and the measured CAS shape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace memu::bounds {
+
+// System parameters. log2_v is B = log2|V| in bits.
+struct Params {
+  std::size_t n = 21;   // number of servers
+  std::size_t f = 10;   // tolerated server failures
+  double log2_v = 4096; // B = log2|V|
+
+  // |V| as a double (may be astronomically large; used in exact forms).
+  double v() const { return std::exp2(log2_v); }
+};
+
+// nu* = min(nu, f + 1), the effective concurrency of Theorem 6.5.
+std::size_t nu_star(std::size_t nu, std::size_t f);
+
+// ---- Theorem B.1 (Singleton-type bound) -------------------------------------
+
+// Exact RHS of Theorem B.1: sum over any N - f servers >= log2|V|.
+double thm_b1_rhs(const Params& p);
+// Corollary B.2.
+double singleton_total(const Params& p);  // N log2|V| / (N - f)
+double singleton_max(const Params& p);    // log2|V| / (N - f)
+double singleton_normalized(std::size_t n, std::size_t f);
+
+// ---- Theorem 4.1 (no gossip) -------------------------------------------------
+
+// Exact RHS: log2|V| + log2(|V|-1) - log2(N-f).
+double thm_41_rhs(const Params& p);
+// Corollary 4.2.
+double no_gossip_total(const Params& p);
+double no_gossip_max(const Params& p);
+double no_gossip_normalized(std::size_t n, std::size_t f);  // 2N/(N-f+1)
+
+// ---- Theorem 5.1 (universal) --------------------------------------------------
+
+// Exact RHS: log2|V| + log2(|V|-1) - 2 log2(N-f).
+double thm_51_rhs(const Params& p);
+// Corollary 5.2.
+double universal_total(const Params& p);
+double universal_max(const Params& p);
+double universal_normalized(std::size_t n, std::size_t f);  // 2N/(N-f+2)
+
+// ---- Theorem 6.5 (restricted write protocols) ---------------------------------
+
+// Exact RHS: log2 C(|V|-1, nu*) - nu* log2(N-f+nu*-1) - log2(nu*!),
+// a bound on the sum over N - f + nu* - 1 servers.
+double thm_65_rhs(const Params& p, std::size_t nu);
+// Corollary 6.6 (finite-|V| total/max forms, scaled like the paper's
+// corollaries: total >= N * RHS / (N - f + nu* - 1)).
+double restricted_total(const Params& p, std::size_t nu);
+double restricted_max(const Params& p, std::size_t nu);
+// nu* N / (N - f + nu* - 1)
+double restricted_normalized(std::size_t n, std::size_t f, std::size_t nu);
+
+// ---- Upper bounds (the achievable side of Figure 1) ---------------------------
+
+// Idealized replication: f + 1 full copies (paper Section 2.1 and Fig. 1).
+double abd_ideal_total(const Params& p);
+double abd_ideal_normalized(std::size_t f);
+// ABD as actually deployed on N servers with majority-style quorums: every
+// server eventually stores the value (what the simulator measures).
+double abd_majority_total(const Params& p);
+// Idealized erasure coding: nu versions, each N/(N-f) of a value (Fig. 1).
+double erasure_total(const Params& p, std::size_t nu);
+double erasure_normalized(std::size_t n, std::size_t f, std::size_t nu);
+// CAS/CASGC with code dimension k and delta = nu: (nu + 1) versions of
+// B/k bits on each of N servers (what the simulator measures at peak).
+double cas_total(const Params& p, std::size_t nu, std::size_t k);
+
+// ---- Figure 1 ------------------------------------------------------------------
+
+// One row per active-write count nu: the five curves of Figure 1 plus the
+// Theorem 4.1 line (normalized total storage, |V| -> infinity).
+struct Figure1Row {
+  std::size_t nu = 0;
+  double thm_b1 = 0;     // N/(N-f)
+  double thm_41 = 0;     // 2N/(N-f+1)
+  double thm_51 = 0;     // 2N/(N-f+2)
+  double thm_65 = 0;     // nu* N/(N-f+nu*-1)
+  double abd = 0;        // f+1
+  double erasure = 0;    // nu N/(N-f)
+};
+
+std::vector<Figure1Row> figure1_series(std::size_t n, std::size_t f,
+                                       std::size_t nu_max);
+
+// ---- Section 7 trichotomy -------------------------------------------------------
+
+// The paper's concluding constraints on any g(nu, N, f) achieving
+// g * log2|V| + o(log2|V|) total storage. Returns human-readable findings
+// for a candidate g value (normalized).
+struct TrichotomyVerdict {
+  bool below_universal = false;   // violates Theorem 5.1: impossible
+  bool below_restricted = false;  // needs multi-phase / non-black-box writes
+  bool below_replication = false; // needs cross-version coding (for all nu)
+};
+TrichotomyVerdict classify_candidate(double g, std::size_t n, std::size_t f,
+                                     std::size_t nu);
+
+}  // namespace memu::bounds

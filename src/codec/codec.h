@@ -1,0 +1,59 @@
+// Codec interface used by the storage algorithms.
+//
+// An (n, k) codec turns a value of B bits into n codeword symbols of
+// ~B/k bits each such that any k symbols recover the value (MDS property).
+// Replication is the degenerate k = 1 codec. Algorithms depend only on this
+// interface, which is how the ablation "CAS with k=1 degenerates towards
+// replication costs" is run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/buffer.h"
+
+namespace memu {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual std::size_t n() const = 0;
+  virtual std::size_t k() const = 0;
+  virtual std::string name() const = 0;
+
+  // Encodes a value into n shards (codeword symbols), index 0..n-1.
+  virtual std::vector<Bytes> encode(const Bytes& value) const = 0;
+
+  // Decodes the original value of `value_size` bytes from >= k shards given
+  // as (shard index, shard bytes). Returns nullopt when fewer than k
+  // distinct shards are supplied or the shards are inconsistent in size.
+  virtual std::optional<Bytes> decode(
+      const std::vector<std::pair<std::size_t, Bytes>>& shards,
+      std::size_t value_size) const = 0;
+
+  // Number of bytes per shard for a value of `value_size` bytes.
+  std::size_t shard_size(std::size_t value_size) const {
+    return (value_size + k() - 1) / k();
+  }
+
+  // Value-bit footprint of one shard: B/k of the value's bits.
+  double shard_value_bits(double value_bits) const {
+    return value_bits / static_cast<double>(k());
+  }
+};
+
+using CodecPtr = std::shared_ptr<const Codec>;
+
+// MDS Reed-Solomon codec over GF(2^8) (systematic: shards 0..k-1 carry the
+// raw value bytes; shards k..n-1 are parity). Requires 1 <= k <= n <= 255.
+CodecPtr make_rs_codec(std::size_t n, std::size_t k);
+
+// Replication "codec": every shard is a full copy of the value (k = 1).
+CodecPtr make_replication_codec(std::size_t n);
+
+}  // namespace memu

@@ -1,0 +1,83 @@
+// Arithmetic over GF(2^8), the base field of the Reed-Solomon codec.
+//
+// Representation: polynomials over GF(2) modulo the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the conventional choice (AES uses
+// 0x11b; storage codes commonly use 0x11d). Addition is XOR; multiplication
+// and inversion go through exp/log tables built once at startup.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace memu::gf256 {
+
+inline constexpr std::uint32_t kPrimitivePoly = 0x11d;
+
+namespace detail {
+
+struct Tables {
+  // exp_[i] = g^i for generator g = 2; doubled length avoids a modulo in mul.
+  std::array<std::uint8_t, 512> exp_{};
+  std::array<std::uint16_t, 256> log_{};
+
+  Tables() {
+    std::uint32_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log_[x] = static_cast<std::uint16_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= kPrimitivePoly;
+    }
+    for (int i = 255; i < 512; ++i)
+      exp_[static_cast<std::size_t>(i)] =
+          exp_[static_cast<std::size_t>(i - 255)];
+    log_[0] = 0;  // never read: mul/div guard zero operands
+  }
+};
+
+inline const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace detail
+
+inline std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::uint8_t>(a ^ b);
+}
+
+inline std::uint8_t sub(std::uint8_t a, std::uint8_t b) {
+  return add(a, b);  // characteristic 2
+}
+
+inline std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = detail::tables();
+  return t.exp_[static_cast<std::size_t>(t.log_[a]) + t.log_[b]];
+}
+
+inline std::uint8_t inv(std::uint8_t a) {
+  MEMU_CHECK_MSG(a != 0, "inverse of 0 in GF(256)");
+  const auto& t = detail::tables();
+  return t.exp_[255 - t.log_[a]];
+}
+
+inline std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  MEMU_CHECK_MSG(b != 0, "division by 0 in GF(256)");
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  return t.exp_[static_cast<std::size_t>(t.log_[a]) + 255 - t.log_[b]];
+}
+
+// a^e with e >= 0 (a^0 == 1, including 0^0 by convention here).
+inline std::uint8_t pow(std::uint8_t a, std::uint64_t e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = detail::tables();
+  const std::uint64_t le = (static_cast<std::uint64_t>(t.log_[a]) * e) % 255;
+  return t.exp_[le];
+}
+
+}  // namespace memu::gf256

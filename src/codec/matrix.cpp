@@ -1,0 +1,100 @@
+#include "codec/matrix.h"
+
+namespace memu {
+
+GfMatrix GfMatrix::identity(std::size_t n) {
+  GfMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, 1);
+  return m;
+}
+
+GfMatrix GfMatrix::vandermonde(std::size_t rows, std::size_t cols) {
+  MEMU_CHECK_MSG(rows <= 255, "GF(256) Vandermonde supports at most 255 rows");
+  GfMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto x = static_cast<std::uint8_t>(r + 1);
+    for (std::size_t c = 0; c < cols; ++c) m.set(r, c, gf256::pow(x, c));
+  }
+  return m;
+}
+
+GfMatrix GfMatrix::mul(const GfMatrix& other) const {
+  MEMU_CHECK(cols_ == other.rows_);
+  GfMatrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const std::uint8_t a = at(r, i);
+      if (a == 0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.set(r, c, gf256::add(out.at(r, c), gf256::mul(a, other.at(i, c))));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> GfMatrix::apply(
+    const std::vector<std::uint8_t>& v) const {
+  MEMU_CHECK(v.size() == cols_);
+  std::vector<std::uint8_t> out(rows_, 0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::uint8_t acc = 0;
+    for (std::size_t c = 0; c < cols_; ++c)
+      acc = gf256::add(acc, gf256::mul(at(r, c), v[c]));
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::optional<GfMatrix> GfMatrix::inverse() const {
+  MEMU_CHECK(rows_ == cols_);
+  const std::size_t n = rows_;
+  GfMatrix a(*this);
+  GfMatrix inv = identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot.
+    std::size_t pivot = col;
+    while (pivot < n && a.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return std::nullopt;  // singular
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::uint8_t t = a.at(col, c);
+        a.set(col, c, a.at(pivot, c));
+        a.set(pivot, c, t);
+        t = inv.at(col, c);
+        inv.set(col, c, inv.at(pivot, c));
+        inv.set(pivot, c, t);
+      }
+    }
+    // Normalize the pivot row.
+    const std::uint8_t scale = gf256::inv(a.at(col, col));
+    for (std::size_t c = 0; c < n; ++c) {
+      a.set(col, c, gf256::mul(a.at(col, c), scale));
+      inv.set(col, c, gf256::mul(inv.at(col, c), scale));
+    }
+    // Eliminate the column elsewhere.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = a.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        a.set(r, c, gf256::add(a.at(r, c), gf256::mul(factor, a.at(col, c))));
+        inv.set(r, c,
+                gf256::add(inv.at(r, c), gf256::mul(factor, inv.at(col, c))));
+      }
+    }
+  }
+  return inv;
+}
+
+GfMatrix GfMatrix::select_rows(const std::vector<std::size_t>& rows) const {
+  GfMatrix out(rows.size(), cols_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    MEMU_CHECK(rows[i] < rows_);
+    for (std::size_t c = 0; c < cols_; ++c) out.set(i, c, at(rows[i], c));
+  }
+  return out;
+}
+
+}  // namespace memu

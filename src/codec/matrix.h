@@ -1,0 +1,60 @@
+// Dense matrices over GF(2^8) with just enough linear algebra for MDS code
+// construction: multiplication, Gauss-Jordan inversion, row selection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codec/gf256.h"
+#include "common/check.h"
+
+namespace memu {
+
+class GfMatrix {
+ public:
+  GfMatrix() = default;
+  GfMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  static GfMatrix identity(std::size_t n);
+
+  // Vandermonde matrix: entry (r, c) = x_r^c with x_r = r + 1 (distinct,
+  // nonzero evaluation points). Any k rows of an n x k Vandermonde matrix
+  // with distinct points are linearly independent, which is what makes the
+  // derived code MDS. Requires rows <= 255 (distinct nonzero points).
+  static GfMatrix vandermonde(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  std::uint8_t at(std::size_t r, std::size_t c) const {
+    MEMU_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  void set(std::size_t r, std::size_t c, std::uint8_t v) {
+    MEMU_CHECK(r < rows_ && c < cols_);
+    data_[r * cols_ + c] = v;
+  }
+
+  GfMatrix mul(const GfMatrix& other) const;
+
+  // Matrix applied to a vector (length == cols()).
+  std::vector<std::uint8_t> apply(const std::vector<std::uint8_t>& v) const;
+
+  // Gauss-Jordan inverse; nullopt when singular. Requires square.
+  std::optional<GfMatrix> inverse() const;
+
+  // New matrix formed from the given rows, in order.
+  GfMatrix select_rows(const std::vector<std::size_t>& rows) const;
+
+  friend bool operator==(const GfMatrix&, const GfMatrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace memu

@@ -1,0 +1,51 @@
+// Contract-checking macros used throughout memucost.
+//
+// MEMU_CHECK is for preconditions and invariants whose violation indicates a
+// programming error in this library or its caller; it throws ContractError so
+// tests can assert on misuse without aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace memu {
+
+// Thrown when a MEMU_CHECK contract is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+
+}  // namespace detail
+}  // namespace memu
+
+#define MEMU_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::memu::detail::contract_fail(#expr, __FILE__, __LINE__, "");   \
+  } while (false)
+
+#define MEMU_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream memu_os_;                                    \
+      memu_os_ << msg;                                                \
+      ::memu::detail::contract_fail(#expr, __FILE__, __LINE__,        \
+                                    memu_os_.str());                  \
+    }                                                                 \
+  } while (false)
+
+// Marks unreachable code paths.
+#define MEMU_UNREACHABLE(msg) \
+  ::memu::detail::contract_fail("unreachable", __FILE__, __LINE__, msg)

@@ -1,0 +1,20 @@
+// FNV-1a 64-bit hash, used by the hash-announce write phase (modeling the
+// client-verification hashes of the Byzantine-tolerant algorithms in the
+// paper's references [2, 15]): o(log|V|) bits of value-dependent metadata.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace memu {
+
+inline std::uint64_t fnv1a64(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace memu

@@ -1,0 +1,60 @@
+// Strongly-typed identifiers for nodes in the emulated system.
+//
+// The paper's model has N server nodes and a set of client nodes, all
+// connected by point-to-point channels. We give every node (server or
+// client) a NodeId; servers are additionally indexed 0..N-1 by ServerIndex.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace memu {
+
+// Identifier of any process (server or client) in a World.
+struct NodeId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, NodeId id) {
+  if (!id.valid()) return os << "node(invalid)";
+  return os << "node(" << id.value << ")";
+}
+
+// A directed channel endpoint pair: messages flow src -> dst.
+struct ChannelId {
+  NodeId src;
+  NodeId dst;
+
+  friend constexpr auto operator<=>(const ChannelId&,
+                                    const ChannelId&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const ChannelId& c) {
+  return os << c.src << "->" << c.dst;
+}
+
+}  // namespace memu
+
+template <>
+struct std::hash<memu::NodeId> {
+  std::size_t operator()(memu::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<memu::ChannelId> {
+  std::size_t operator()(const memu::ChannelId& c) const noexcept {
+    return (std::size_t{c.src.value} << 32) ^ c.dst.value;
+  }
+};

@@ -1,0 +1,77 @@
+// Deterministic, copyable pseudo-random number generator.
+//
+// The simulator must be reproducible from a seed and its whole state must be
+// value-copyable (the adversary harness clones Worlds, including their
+// randomness). xoshiro256** is small, fast, and trivially copyable, unlike
+// std::mt19937 which is large and slow to copy.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace memu {
+
+// xoshiro256** by Blackman & Vigna (public domain reference implementation
+// re-expressed here). Deterministic across platforms.
+class Rng {
+ public:
+  // Seeds via splitmix64 so that any 64-bit seed (including 0) yields a
+  // well-mixed initial state.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) s = splitmix64(x);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Requires bound > 0. Uses rejection
+  // sampling (Lemire-style) to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) {
+    MEMU_CHECK(bound > 0);
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with probability p of returning true.
+  bool next_bool(double p) { return next_double() < p; }
+
+  std::uint8_t next_byte() { return static_cast<std::uint8_t>(next_u64()); }
+
+  friend bool operator==(const Rng&, const Rng&) = default;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace memu

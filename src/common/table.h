@@ -1,0 +1,58 @@
+// Minimal fixed-width table printer for benches and examples: prints a
+// header row, then data rows, with right-aligned numeric formatting — the
+// "rows the paper reports" format.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace memu {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 14)
+      : headers_(std::move(headers)), width_(width) {}
+
+  Table& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  Table& cell(const std::string& s) {
+    MEMU_CHECK(!rows_.empty());
+    rows_.back().push_back(s);
+    return *this;
+  }
+
+  Table& cell(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return cell(os.str());
+  }
+
+  Table& cell(std::size_t v) { return cell(std::to_string(v)); }
+
+  void print(std::ostream& os = std::cout) const {
+    for (const auto& h : headers_) os << std::setw(width_) << h;
+    os << '\n';
+    for (const auto& h : headers_)
+      os << std::setw(width_) << std::string(h.size(), '-');
+    os << '\n';
+    for (const auto& r : rows_) {
+      for (const auto& c : r) os << std::setw(width_) << c;
+      os << '\n';
+    }
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int width_;
+};
+
+}  // namespace memu

@@ -1,0 +1,55 @@
+#include "consistency/history.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace memu {
+
+History History::from_oplog(const OpLog& log) {
+  History h;
+  std::map<std::uint64_t, std::size_t> index;  // op_id -> position
+  for (const auto& e : log.events()) {
+    if (e.kind == OpEvent::Kind::kInvoke) {
+      MEMU_CHECK_MSG(!index.contains(e.op_id), "duplicate invoke " << e.op_id);
+      Operation op;
+      op.op_id = e.op_id;
+      op.client = e.client;
+      op.type = e.type;
+      op.invoke_step = e.step;
+      if (e.type == OpType::kWrite) op.written = e.value;
+      index[e.op_id] = h.ops_.size();
+      h.ops_.push_back(std::move(op));
+    } else {
+      const auto it = index.find(e.op_id);
+      MEMU_CHECK_MSG(it != index.end(), "response without invoke " << e.op_id);
+      Operation& op = h.ops_[it->second];
+      MEMU_CHECK_MSG(!op.completed(), "duplicate response " << e.op_id);
+      op.response_step = e.step;
+      if (op.type == OpType::kRead) op.returned = e.value;
+    }
+  }
+  return h;
+}
+
+std::vector<const Operation*> History::writes() const {
+  std::vector<const Operation*> out;
+  for (const auto& op : ops_)
+    if (op.type == OpType::kWrite) out.push_back(&op);
+  return out;
+}
+
+std::vector<const Operation*> History::completed_reads() const {
+  std::vector<const Operation*> out;
+  for (const auto& op : ops_)
+    if (op.type == OpType::kRead && op.completed()) out.push_back(&op);
+  return out;
+}
+
+const Operation* History::write_of(const Value& v) const {
+  for (const auto& op : ops_)
+    if (op.type == OpType::kWrite && op.written == v) return &op;
+  return nullptr;
+}
+
+}  // namespace memu

@@ -1,0 +1,55 @@
+// Operation histories: the externally visible behavior of an execution, as
+// consumed by the consistency checkers.
+//
+// Built from a World's OpLog. Values must be unique per write (the workload
+// generators guarantee this), which makes register linearizability checkable
+// in reasonable time: each read names the write it observed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "registers/value.h"
+#include "sim/oplog.h"
+
+namespace memu {
+
+struct Operation {
+  std::uint64_t op_id = 0;
+  NodeId client;
+  OpType type = OpType::kRead;
+  std::uint64_t invoke_step = 0;
+  std::optional<std::uint64_t> response_step;  // nullopt = pending
+  Value written;   // writes: the value written
+  Value returned;  // completed reads: the value returned
+
+  bool completed() const { return response_step.has_value(); }
+
+  // Real-time precedence: this op's response precedes o's invocation.
+  bool precedes(const Operation& o) const {
+    return completed() && *response_step < o.invoke_step;
+  }
+};
+
+class History {
+ public:
+  // Builds a history from an oplog; pairs invoke/response events by op id.
+  static History from_oplog(const OpLog& log);
+
+  const std::vector<Operation>& operations() const { return ops_; }
+
+  std::vector<const Operation*> writes() const;
+  std::vector<const Operation*> completed_reads() const;
+
+  // The write operation that produced `v`, if any.
+  const Operation* write_of(const Value& v) const;
+
+  std::size_t size() const { return ops_.size(); }
+
+ private:
+  std::vector<Operation> ops_;
+};
+
+}  // namespace memu

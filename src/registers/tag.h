@@ -1,0 +1,43 @@
+// Version tags, as used by ABD and by erasure-coded shared memory
+// algorithms: a (sequence number, writer id) pair ordered lexicographically.
+// Tag bits are metadata in the paper's accounting (o(log|V|)).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+#include "common/bits.h"
+#include "common/buffer.h"
+
+namespace memu {
+
+struct Tag {
+  std::uint64_t seq = 0;
+  std::uint32_t writer = 0;
+
+  static constexpr Tag initial() { return Tag{0, 0}; }
+
+  friend constexpr auto operator<=>(const Tag&, const Tag&) = default;
+
+  // Metadata footprint of one tag: 64-bit sequence + 32-bit writer id.
+  static constexpr double kBits = 96.0;
+
+  void encode(BufWriter& w) const {
+    w.u64(seq);
+    w.u32(writer);
+  }
+
+  static Tag decode(BufReader& r) {
+    Tag t;
+    t.seq = r.u64();
+    t.writer = r.u32();
+    return t;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Tag& t) {
+  return os << "(" << t.seq << "," << t.writer << ")";
+}
+
+}  // namespace memu

@@ -1,0 +1,68 @@
+// Operation log: the externally visible behavior of an execution.
+//
+// Clients record invocation and response events here; the consistency
+// checkers (atomicity / regularity) and the adversary's valency prober
+// consume it. The log lives inside the World so that cloned executions carry
+// their own diverging histories.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/ids.h"
+
+namespace memu {
+
+enum class OpType : std::uint8_t { kRead, kWrite };
+
+struct OpEvent {
+  enum class Kind : std::uint8_t { kInvoke, kResponse };
+
+  Kind kind = Kind::kInvoke;
+  NodeId client;
+  std::uint64_t op_id = 0;  // unique per invocation within a World
+  OpType type = OpType::kRead;
+  // For a write invoke: the value written. For a read response: the value
+  // returned. Empty otherwise.
+  Bytes value;
+  std::uint64_t step = 0;  // world step count at which the event occurred
+};
+
+// Append-only event log.
+class OpLog {
+ public:
+  void append(OpEvent e) { events_.push_back(std::move(e)); }
+
+  const std::vector<OpEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  // Whether operation `op_id` has a response event.
+  bool responded(std::uint64_t op_id) const {
+    for (const auto& e : events_)
+      if (e.op_id == op_id && e.kind == OpEvent::Kind::kResponse) return true;
+    return false;
+  }
+
+  // The value returned by operation `op_id`, if it responded.
+  std::optional<Bytes> response_value(std::uint64_t op_id) const {
+    for (const auto& e : events_)
+      if (e.op_id == op_id && e.kind == OpEvent::Kind::kResponse)
+        return e.value;
+    return std::nullopt;
+  }
+
+  // Number of responses after (and including) index `from`.
+  std::size_t responses_since(std::size_t from) const {
+    std::size_t n = 0;
+    for (std::size_t i = from; i < events_.size(); ++i)
+      if (events_[i].kind == OpEvent::Kind::kResponse) ++n;
+    return n;
+  }
+
+ private:
+  std::vector<OpEvent> events_;
+};
+
+}  // namespace memu

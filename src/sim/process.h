@@ -1,0 +1,106 @@
+// Process: the I/O-automaton-style node abstraction.
+//
+// A process reacts to message deliveries (on_message) and to external
+// operation invocations (on_invoke, clients only). All effects go through
+// the Context, which the World supplies per step. Processes must be
+// deep-copyable via clone() — the adversary harness forks entire Worlds to
+// probe hypothetical extensions of an execution, exactly like the paper's
+// proofs extend an execution from a point.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/bits.h"
+#include "common/buffer.h"
+#include "common/ids.h"
+#include "sim/message.h"
+#include "sim/oplog.h"
+
+namespace memu {
+
+class World;
+
+// Per-step effect interface handed to a process by the World.
+class Context {
+ public:
+  Context(World& world, NodeId self) : world_(world), self_(self) {}
+
+  NodeId self() const { return self_; }
+
+  // Enqueue a message on the channel self -> dst.
+  void send(NodeId dst, MessagePtr payload);
+
+  // Broadcast to a set of nodes.
+  template <class Range>
+  void send_all(const Range& dsts, const MessagePtr& payload) {
+    for (NodeId d : dsts) send(d, payload);
+  }
+
+  // Current world step count.
+  std::uint64_t step() const;
+
+  // Record an operation event (clients only).
+  void log_op(OpEvent e);
+
+  // Fresh operation id.
+  std::uint64_t next_op_id();
+
+  World& world() { return world_; }
+
+ private:
+  World& world_;
+  NodeId self_;
+};
+
+// External invocation delivered to a client process.
+struct Invocation {
+  OpType type = OpType::kRead;
+  Bytes value;  // write value; empty for reads
+};
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  // Reaction to a delivered message.
+  virtual void on_message(Context& ctx, NodeId from,
+                          const MessagePayload& msg) = 0;
+
+  // Reaction to an external invocation. Servers ignore this by default.
+  virtual void on_invoke(Context& ctx, const Invocation& inv);
+
+  // Deep copy; must copy all mutable state.
+  virtual std::unique_ptr<Process> clone() const = 0;
+
+  // Current storage footprint of this process's state, split into value and
+  // metadata bits. Only meaningful for servers (the paper's storage cost is
+  // over servers), but defined for all processes.
+  virtual StateBits state_size() const = 0;
+
+  // Canonical encoding of the state; equal states encode equally. Used by
+  // the adversary harness to compare server-state vectors across executions.
+  virtual Bytes encode_state() const = 0;
+
+  virtual std::string name() const = 0;
+
+  // True for server processes (counted in storage cost).
+  virtual bool is_server() const { return false; }
+
+  NodeId id() const { return id_; }
+  void set_id(NodeId id) { id_ = id; }
+
+ private:
+  NodeId id_;
+};
+
+// CRTP helper implementing clone() by copy construction.
+template <class Derived>
+class CloneableProcess : public Process {
+ public:
+  std::unique_ptr<Process> clone() const override {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
+
+}  // namespace memu

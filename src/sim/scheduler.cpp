@@ -1,0 +1,63 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+
+namespace memu {
+
+ChannelId Scheduler::choose(World& world) {
+  const std::vector<ChannelId> chans = world.deliverable_channels();
+  MEMU_CHECK(!chans.empty());
+  if (policy_ != Policy::kRoundRobin) {
+    return chans[rng_.next_below(chans.size())];
+  }
+  // Round-robin: first channel strictly after the cursor, wrapping.
+  // deliverable_channels() is sorted (map iteration order).
+  auto it = std::upper_bound(chans.begin(), chans.end(), cursor_);
+  if (it == chans.end()) it = chans.begin();
+  cursor_ = *it;
+  return *it;
+}
+
+bool Scheduler::step(World& world) {
+  if (!world.has_deliverable()) return false;
+  const ChannelId chan = choose(world);
+  if (policy_ == Policy::kRandomReorder) {
+    const auto indices = world.deliverable_indices(chan);
+    MEMU_CHECK(!indices.empty());
+    world.deliver(chan, indices[rng_.next_below(indices.size())]);
+  } else {
+    world.deliver_next_allowed(chan);
+  }
+  ++steps_taken_;
+  return true;
+}
+
+bool Scheduler::run_until(World& world,
+                          const std::function<bool(const World&)>& pred,
+                          std::uint64_t max_steps) {
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    if (pred(world)) return true;
+    if (!step(world)) return pred(world);
+  }
+  return pred(world);
+}
+
+bool Scheduler::drain(World& world, std::uint64_t max_steps) {
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    if (!step(world)) return true;
+  }
+  return !world.has_deliverable();
+}
+
+bool Scheduler::run_until_responses(World& world, std::size_t n,
+                                    std::uint64_t max_steps) {
+  const std::size_t base = world.oplog().size();
+  return run_until(
+      world,
+      [base, n](const World& w) {
+        return w.oplog().responses_since(base) >= n;
+      },
+      max_steps);
+}
+
+}  // namespace memu

@@ -1,0 +1,254 @@
+#include "sim/world.h"
+
+#include <algorithm>
+
+namespace memu {
+
+// ---- Context --------------------------------------------------------------
+
+void Context::send(NodeId dst, MessagePtr payload) {
+  MEMU_CHECK(payload != nullptr);
+  world_.enqueue(ChannelId{self_, dst}, std::move(payload));
+}
+
+std::uint64_t Context::step() const { return world_.step_count(); }
+
+void Context::log_op(OpEvent e) {
+  e.step = world_.step_count();
+  world_.oplog().append(std::move(e));
+}
+
+std::uint64_t Context::next_op_id() { return world_.next_op_id(); }
+
+// ---- World ------------------------------------------------------------------
+
+World::World(const World& other)
+    : channels_(other.channels_),
+      crashed_(other.crashed_),
+      frozen_(other.frozen_),
+      value_blocked_(other.value_blocked_),
+      bulk_blocked_(other.bulk_blocked_),
+      oplog_(other.oplog_),
+      tracing_(other.tracing_),
+      trace_(other.trace_),
+      step_count_(other.step_count_),
+      next_op_id_(other.next_op_id_) {
+  processes_.reserve(other.processes_.size());
+  for (const auto& p : other.processes_) processes_.push_back(p->clone());
+}
+
+World& World::operator=(const World& other) {
+  if (this == &other) return *this;
+  World copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+NodeId World::add_process(std::unique_ptr<Process> p) {
+  MEMU_CHECK(p != nullptr);
+  const NodeId id{static_cast<std::uint32_t>(processes_.size())};
+  p->set_id(id);
+  processes_.push_back(std::move(p));
+  return id;
+}
+
+Process& World::process(NodeId id) {
+  MEMU_CHECK_MSG(id.value < processes_.size(), "unknown process " << id);
+  return *processes_[id.value];
+}
+
+const Process& World::process(NodeId id) const {
+  MEMU_CHECK_MSG(id.value < processes_.size(), "unknown process " << id);
+  return *processes_[id.value];
+}
+
+std::vector<NodeId> World::server_ids() const {
+  std::vector<NodeId> out;
+  for (const auto& p : processes_)
+    if (p->is_server()) out.push_back(p->id());
+  return out;
+}
+
+void World::crash(NodeId id) {
+  MEMU_CHECK(id.value < processes_.size());
+  crashed_.insert(id);
+}
+
+void World::enqueue(ChannelId chan, MessagePtr payload) {
+  // Messages from a crashed node are never produced (a crashed node takes no
+  // steps), but a node may legitimately send and then crash in the same
+  // adversary script; enqueuing checks only validity of endpoints.
+  MEMU_CHECK(chan.src.value < processes_.size());
+  MEMU_CHECK(chan.dst.value < processes_.size());
+  channels_[chan].push_back(Message{chan, std::move(payload), step_count_});
+}
+
+std::size_t World::first_allowed_index(
+    ChannelId chan, const std::deque<Message>& queue) const {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  if (queue.empty()) return npos;
+  if (crashed_.contains(chan.dst)) return npos;  // held; dropped on delivery
+  if (frozen_.contains(chan.src) || frozen_.contains(chan.dst)) return npos;
+  const bool vblock = value_blocked_.contains(chan.src);
+  const bool bblock = bulk_blocked_.contains(chan.src);
+  if (!vblock && !bblock) return 0;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const auto& payload = *queue[i].payload;
+    if (vblock && payload.value_dependent()) continue;
+    if (bblock && payload.value_bulk()) continue;
+    return i;
+  }
+  return npos;
+}
+
+std::vector<ChannelId> World::deliverable_channels() const {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<ChannelId> out;
+  for (const auto& [chan, queue] : channels_) {
+    if (first_allowed_index(chan, queue) != npos) out.push_back(chan);
+  }
+  return out;
+}
+
+bool World::has_deliverable() const {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  for (const auto& [chan, queue] : channels_) {
+    if (first_allowed_index(chan, queue) != npos) return true;
+  }
+  return false;
+}
+
+std::size_t World::channel_depth(ChannelId chan) const {
+  auto it = channels_.find(chan);
+  return it == channels_.end() ? 0 : it->second.size();
+}
+
+std::size_t World::in_flight() const {
+  std::size_t n = 0;
+  for (const auto& [chan, queue] : channels_) n += queue.size();
+  return n;
+}
+
+std::vector<std::size_t> World::deliverable_indices(ChannelId chan) const {
+  std::vector<std::size_t> out;
+  const auto it = channels_.find(chan);
+  if (it == channels_.end()) return out;
+  if (crashed_.contains(chan.dst)) return out;
+  if (frozen_.contains(chan.src) || frozen_.contains(chan.dst)) return out;
+  const bool vblock = value_blocked_.contains(chan.src);
+  const bool bblock = bulk_blocked_.contains(chan.src);
+  for (std::size_t i = 0; i < it->second.size(); ++i) {
+    const auto& payload = *it->second[i].payload;
+    if (vblock && payload.value_dependent()) continue;
+    if (bblock && payload.value_bulk()) continue;
+    out.push_back(i);
+  }
+  return out;
+}
+
+void World::deliver_next_allowed(ChannelId chan) {
+  const auto it = channels_.find(chan);
+  MEMU_CHECK_MSG(it != channels_.end(), "no messages on " << chan);
+  const std::size_t index = first_allowed_index(chan, it->second);
+  MEMU_CHECK_MSG(index != static_cast<std::size_t>(-1),
+                 "no deliverable message on " << chan);
+  deliver(chan, index);
+}
+
+void World::deliver(ChannelId chan, std::size_t index) {
+  auto it = channels_.find(chan);
+  MEMU_CHECK_MSG(it != channels_.end() && index < it->second.size(),
+                 "no message at " << chan << "[" << index << "]");
+  MEMU_CHECK_MSG(!frozen_.contains(chan.src) && !frozen_.contains(chan.dst),
+                 "delivery on frozen channel " << chan);
+  MEMU_CHECK_MSG(!value_blocked_.contains(chan.src) ||
+                     !it->second[index].payload->value_dependent(),
+                 "value-dependent delivery from value-blocked " << chan.src);
+  MEMU_CHECK_MSG(!bulk_blocked_.contains(chan.src) ||
+                     !it->second[index].payload->value_bulk(),
+                 "bulk-value delivery from bulk-blocked " << chan.src);
+  Message msg = std::move(it->second[index]);
+  it->second.erase(it->second.begin() + static_cast<std::ptrdiff_t>(index));
+  if (it->second.empty()) channels_.erase(it);
+
+  ++step_count_;
+  const bool dropped = crashed_.contains(chan.dst);
+  if (tracing_) {
+    trace_.record({step_count_, chan, msg.payload->type_name(),
+                   msg.payload->size_bits(), dropped});
+  }
+  if (dropped) return;  // dropped at a crashed node
+
+  Context ctx(*this, chan.dst);
+  processes_[chan.dst.value]->on_message(ctx, chan.src, *msg.payload);
+}
+
+void World::invoke(NodeId client, Invocation inv) {
+  MEMU_CHECK(client.value < processes_.size());
+  MEMU_CHECK_MSG(!crashed_.contains(client), "invocation at crashed " << client);
+  ++step_count_;
+  Context ctx(*this, client);
+  processes_[client.value]->on_invoke(ctx, inv);
+}
+
+StateBits World::total_server_storage() const {
+  StateBits total;
+  for (const auto& p : processes_)
+    if (p->is_server() && !crashed_.contains(p->id())) total += p->state_size();
+  return total;
+}
+
+StateBits World::max_server_storage() const {
+  StateBits best;
+  for (const auto& p : processes_) {
+    if (!p->is_server() || crashed_.contains(p->id())) continue;
+    const StateBits s = p->state_size();
+    if (s.total() > best.total()) best = s;
+  }
+  return best;
+}
+
+Bytes World::canonical_encoding() const {
+  BufWriter w;
+  w.u64(processes_.size());
+  for (const auto& p : processes_) w.bytes(p->encode_state());
+  w.u64(channels_.size());
+  for (const auto& [chan, queue] : channels_) {
+    w.u32(chan.src.value);
+    w.u32(chan.dst.value);
+    w.u64(queue.size());
+    for (const auto& msg : queue) w.bytes(msg.payload->encode());
+  }
+  const auto encode_set = [&w](const std::set<NodeId>& s) {
+    w.u64(s.size());
+    for (const NodeId id : s) w.u32(id.value);
+  };
+  encode_set(crashed_);
+  encode_set(frozen_);
+  encode_set(value_blocked_);
+  encode_set(bulk_blocked_);
+  w.u64(oplog_.size());
+  for (const auto& e : oplog_.events()) {
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u32(e.client.value);
+    w.u64(e.op_id);
+    w.u8(static_cast<std::uint8_t>(e.type));
+    w.bytes(e.value);
+    // step deliberately omitted: log order alone determines precedence.
+  }
+  return std::move(w).take();
+}
+
+StateBits World::channel_bits() const {
+  StateBits total;
+  for (const auto& [chan, queue] : channels_)
+    for (const auto& m : queue) total += m.payload->size_bits();
+  return total;
+}
+
+// Default Process reactions.
+void Process::on_invoke(Context&, const Invocation&) {
+  MEMU_UNREACHABLE("invocation delivered to a non-client process");
+}
+
+}  // namespace memu

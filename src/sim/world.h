@@ -1,0 +1,180 @@
+// World: the complete state of the emulated distributed system at a point of
+// an execution — processes, in-flight channel contents, crash/freeze status,
+// the operation log, and a step counter.
+//
+// A World is deep-copyable. This mirrors the proof technique of the paper:
+// "extend execution alpha from point P" becomes "clone the World at P and
+// keep stepping the clone". Scheduling is external (see scheduler.h): the
+// World only exposes what is deliverable and applies chosen steps, so an
+// adversary has full control of asynchrony.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "sim/message.h"
+#include "sim/oplog.h"
+#include "sim/process.h"
+#include "sim/trace.h"
+
+namespace memu {
+
+class World {
+ public:
+  World() = default;
+
+  // Deep copy: clones every process, copies channels (payloads shared —
+  // they are immutable), crash/freeze sets, oplog, counters, rng.
+  World(const World& other);
+  World& operator=(const World& other);
+  World(World&&) = default;
+  World& operator=(World&&) = default;
+
+  // --- topology -----------------------------------------------------------
+
+  // Adds a process and returns its id. Ids are assigned densely from 0.
+  NodeId add_process(std::unique_ptr<Process> p);
+
+  std::size_t process_count() const { return processes_.size(); }
+
+  Process& process(NodeId id);
+  const Process& process(NodeId id) const;
+
+  // Ids of all server processes, in id order.
+  std::vector<NodeId> server_ids() const;
+
+  // --- failures and adversarial control ------------------------------------
+
+  // Crash-stop a node: it takes no further steps; messages addressed to it
+  // are silently dropped when delivered; its in-flight outgoing messages
+  // remain deliverable (they were already on the channel).
+  void crash(NodeId id);
+  bool is_crashed(NodeId id) const { return crashed_.contains(id); }
+  std::size_t crashed_count() const { return crashed_.size(); }
+
+  // Freeze a node: messages to and from it are delayed indefinitely (the
+  // paper's "all messages from and to the writer are delayed indefinitely").
+  // Unlike a crash, nothing is dropped; unfreeze resumes delivery.
+  void freeze(NodeId id) { frozen_.insert(id); }
+  void unfreeze(NodeId id) { frozen_.erase(id); }
+  bool is_frozen(NodeId id) const { return frozen_.contains(id); }
+
+  // Value-block a node: its channels deliver only value-INDEPENDENT
+  // messages (queries, acks, finalizes); value-dependent ones are delayed
+  // indefinitely. This is the paper's Definition of (j, C0)-valency in
+  // Section 6: writers outside C0 "do not send any value-dependent
+  // messages, [and] the channels from [them] do not deliver any
+  // value-dependent messages" — while their metadata traffic still flows.
+  void value_block(NodeId id) { value_blocked_.insert(id); }
+  void value_unblock(NodeId id) { value_blocked_.erase(id); }
+  bool is_value_blocked(NodeId id) const {
+    return value_blocked_.contains(id);
+  }
+
+  // Bulk-block a node: its channels deliver everything except
+  // Theta(log|V|)-sized value messages (MessagePayload::value_bulk). The
+  // relaxation of value-blocking used by the Section 6.5 conjecture
+  // harness: hashes and other o(log|V|) value-dependent metadata still
+  // flow; coded elements and full values do not.
+  void bulk_block(NodeId id) { bulk_blocked_.insert(id); }
+  void bulk_unblock(NodeId id) { bulk_blocked_.erase(id); }
+  bool is_bulk_blocked(NodeId id) const { return bulk_blocked_.contains(id); }
+
+  // --- channels ------------------------------------------------------------
+
+  void enqueue(ChannelId chan, MessagePtr payload);
+
+  // Channels with at least one message whose delivery is currently allowed
+  // (dst not crashed; neither endpoint frozen). Deterministic order.
+  std::vector<ChannelId> deliverable_channels() const;
+
+  // Whether any message is deliverable.
+  bool has_deliverable() const;
+
+  // Number of messages pending on a channel.
+  std::size_t channel_depth(ChannelId chan) const;
+
+  // Total number of in-flight messages (including blocked ones).
+  std::size_t in_flight() const;
+
+  // Delivers the message at `index` on `chan` (0 = oldest). The destination
+  // process reacts unless it is crashed (then the message is dropped).
+  // Freezing is a scheduler-side restriction: delivering to a frozen node is
+  // a contract violation, since deliverable_channels() excludes it.
+  void deliver(ChannelId chan, std::size_t index = 0);
+
+  // Delivers the oldest message on `chan` whose delivery the current
+  // freeze/value-block state permits (for a value-blocked source, the
+  // oldest value-independent message). Contract violation if none.
+  void deliver_next_allowed(ChannelId chan);
+
+  // Every index on `chan` whose delivery the current freeze/block state
+  // permits. The paper's channels are NOT FIFO: reordering adversaries and
+  // the explorer's reorder mode enumerate these.
+  std::vector<std::size_t> deliverable_indices(ChannelId chan) const;
+
+  // --- invocations ----------------------------------------------------------
+
+  // Delivers an external invocation to a client process.
+  void invoke(NodeId client, Invocation inv);
+
+  // --- bookkeeping ----------------------------------------------------------
+
+  std::uint64_t step_count() const { return step_count_; }
+  OpLog& oplog() { return oplog_; }
+  const OpLog& oplog() const { return oplog_; }
+
+  // Delivery tracing (off by default; cheap enough to leave on in tests).
+  void enable_trace() { tracing_ = true; }
+  void disable_trace() { tracing_ = false; }
+  const Trace& trace() const { return trace_; }
+
+  std::uint64_t next_op_id() { return next_op_id_++; }
+
+  // Sum of state_size() over all server processes: the paper's
+  // TotalStorage at this point of the execution.
+  StateBits total_server_storage() const;
+
+  // Max of state_size().total() over servers: MaxStorage at this point.
+  StateBits max_server_storage() const;
+
+  // Bits currently in flight on channels (for channel-occupancy ablations).
+  StateBits channel_bits() const;
+
+  // Canonical encoding of the complete logical state: process states,
+  // channel contents (payloads via MessagePayload::encode), failure /
+  // freeze / value-block sets, and the oplog WITHOUT absolute step stamps
+  // (event order alone carries the precedence information). Two Worlds with
+  // equal encodings behave identically under identical future schedules —
+  // the deduplication key of the exhaustive interleaving explorer.
+  Bytes canonical_encoding() const;
+
+ private:
+  friend class Context;
+
+  // First deliverable index on a channel under the current freeze and
+  // value-block state, or npos.
+  std::size_t first_allowed_index(ChannelId chan,
+                                  const std::deque<Message>& queue) const;
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::map<ChannelId, std::deque<Message>> channels_;
+  std::set<NodeId> crashed_;
+  std::set<NodeId> frozen_;
+  std::set<NodeId> value_blocked_;
+  std::set<NodeId> bulk_blocked_;
+  OpLog oplog_;
+  bool tracing_ = false;
+  Trace trace_;
+  std::uint64_t step_count_ = 0;
+  std::uint64_t next_op_id_ = 1;
+};
+
+}  // namespace memu

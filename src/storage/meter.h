@@ -1,0 +1,55 @@
+// Storage meters: track the paper's cost measures over an execution.
+//
+// TotalStorage / MaxStorage are worst-case (supremum over execution points)
+// measures; the meter observes the World after every step and keeps peaks,
+// split into value bits (multiples of B or B/k) and metadata bits (the
+// o(log|V|) part).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+#include "sim/world.h"
+
+namespace memu {
+
+struct StorageReport {
+  StateBits peak_total;       // max over points of sum over servers
+  StateBits peak_max_server;  // max over points of max over servers
+  StateBits final_total;      // at the last observed point
+  std::uint64_t observations = 0;
+
+  // Normalized by B = log2|V| (the y-axis of Figure 1).
+  double normalized_peak_total(double log2_v) const {
+    return peak_total.value_bits / log2_v;
+  }
+  double normalized_peak_max(double log2_v) const {
+    return peak_max_server.value_bits / log2_v;
+  }
+  // Including metadata (shows the o(log|V|) gap).
+  double normalized_peak_total_with_metadata(double log2_v) const {
+    return peak_total.total() / log2_v;
+  }
+};
+
+class StorageMeter {
+ public:
+  void observe(const World& w) {
+    const StateBits total = w.total_server_storage();
+    const StateBits mx = w.max_server_storage();
+    if (total.total() > report_.peak_total.total())
+      report_.peak_total = total;
+    if (mx.total() > report_.peak_max_server.total())
+      report_.peak_max_server = mx;
+    report_.final_total = total;
+    ++report_.observations;
+  }
+
+  const StorageReport& report() const { return report_; }
+
+ private:
+  StorageReport report_;
+};
+
+}  // namespace memu

@@ -1,0 +1,100 @@
+#include "workload/driver.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "registers/value.h"
+
+namespace memu::workload {
+
+namespace {
+
+struct ClientState {
+  bool busy = false;
+  std::size_t issued = 0;
+  std::uint64_t invoke_step = 0;
+};
+
+}  // namespace
+
+RunResult run(World& world, const std::vector<NodeId>& writers,
+              const std::vector<NodeId>& readers, const Options& opt) {
+  MEMU_CHECK(!writers.empty() || !readers.empty());
+  MEMU_CHECK(opt.value_size >= 12);
+
+  RunResult result;
+  StorageMeter meter;
+  Scheduler sched(opt.policy, opt.seed);
+
+  std::map<NodeId, ClientState> state;
+  for (const NodeId w : writers) state[w] = {};
+  for (const NodeId r : readers) state[r] = {};
+
+  std::size_t oplog_cursor = world.oplog().size();
+  const std::size_t want_responses = writers.size() * opt.writes_per_writer +
+                                     readers.size() * opt.reads_per_reader;
+  std::size_t responses = 0;
+
+  meter.observe(world);
+  for (std::uint64_t step = 0; step < opt.max_steps; ++step) {
+    // Absorb new oplog events: mark clients idle on response.
+    const auto& events = world.oplog().events();
+    for (; oplog_cursor < events.size(); ++oplog_cursor) {
+      const auto& e = events[oplog_cursor];
+      const auto it = state.find(e.client);
+      if (it == state.end()) continue;
+      if (e.kind == OpEvent::Kind::kResponse) {
+        it->second.busy = false;
+        ++responses;
+        result.op_latency_steps.push_back(e.step - it->second.invoke_step);
+      }
+    }
+    if (responses >= want_responses) break;
+
+    // Keep idle clients busy while quota remains.
+    for (std::size_t i = 0; i < writers.size(); ++i) {
+      ClientState& cs = state[writers[i]];
+      if (cs.busy || cs.issued >= opt.writes_per_writer) continue;
+      const Value v = unique_value(static_cast<std::uint32_t>(i + 1),
+                                   cs.issued + 1, opt.value_size);
+      world.invoke(writers[i], Invocation{OpType::kWrite, v});
+      cs.busy = true;
+      ++cs.issued;
+      cs.invoke_step = world.step_count();
+    }
+    for (const NodeId r : readers) {
+      ClientState& cs = state[r];
+      if (cs.busy || cs.issued >= opt.reads_per_reader) continue;
+      world.invoke(r, Invocation{OpType::kRead, {}});
+      cs.busy = true;
+      ++cs.issued;
+      cs.invoke_step = world.step_count();
+    }
+
+    if (!sched.step(world)) {
+      // Quiescent with quotas unmet and nothing to deliver: stuck.
+      break;
+    }
+    meter.observe(world);
+  }
+
+  // Absorb any trailing events.
+  const auto& events = world.oplog().events();
+  for (; oplog_cursor < events.size(); ++oplog_cursor) {
+    const auto& e = events[oplog_cursor];
+    const auto it = state.find(e.client);
+    if (it == state.end()) continue;
+    if (e.kind == OpEvent::Kind::kResponse) {
+      ++responses;
+      result.op_latency_steps.push_back(e.step - it->second.invoke_step);
+    }
+  }
+
+  result.completed = responses >= want_responses;
+  result.steps = sched.steps_taken();
+  result.storage = meter.report();
+  result.history = History::from_oplog(world.oplog());
+  return result;
+}
+
+}  // namespace memu::workload

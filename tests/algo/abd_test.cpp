@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "algo/abd/system.h"
+#include "sim/scheduler.h"
+
+namespace memu::abd {
+namespace {
+
+Invocation write_of(const Value& v) { return {OpType::kWrite, v}; }
+Invocation read_op() { return {OpType::kRead, {}}; }
+
+TEST(Abd, WriteThenReadReturnsWrittenValue) {
+  Options opt;
+  opt.n_servers = 5;
+  opt.f = 2;
+  System sys = make_system(opt);
+  Scheduler sched;
+
+  const Value v = unique_value(1, 1, opt.value_size);
+  sys.world.invoke(sys.writers[0], write_of(v));
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 10000));
+
+  sys.world.invoke(sys.readers[0], read_op());
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 10000));
+
+  const auto got = sys.world.oplog().events().back();
+  EXPECT_EQ(got.type, OpType::kRead);
+  EXPECT_EQ(got.value, v);
+}
+
+TEST(Abd, ReadBeforeAnyWriteReturnsInitialValue) {
+  Options opt;
+  System sys = make_system(opt);
+  Scheduler sched;
+
+  sys.world.invoke(sys.readers[0], read_op());
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 10000));
+  EXPECT_EQ(sys.world.oplog().events().back().value,
+            enum_value(0, opt.value_size));
+}
+
+TEST(Abd, OperationsTerminateWithFCrashedServers) {
+  Options opt;
+  opt.n_servers = 5;
+  opt.f = 2;
+  System sys = make_system(opt);
+  Scheduler sched;
+
+  // Crash exactly f servers at the start (the paper's liveness condition).
+  sys.world.crash(sys.servers[0]);
+  sys.world.crash(sys.servers[3]);
+
+  const Value v = unique_value(1, 1, opt.value_size);
+  sys.world.invoke(sys.writers[0], write_of(v));
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 10000));
+
+  sys.world.invoke(sys.readers[0], read_op());
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 10000));
+  EXPECT_EQ(sys.world.oplog().events().back().value, v);
+}
+
+TEST(Abd, SequentialWritesAreOrderedByTags) {
+  Options opt;
+  System sys = make_system(opt);
+  Scheduler sched;
+
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    sys.world.invoke(sys.writers[0],
+                     write_of(unique_value(1, seq, opt.value_size)));
+    ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 10000));
+  }
+  sys.world.invoke(sys.readers[0], read_op());
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 10000));
+  EXPECT_EQ(value_identity(sys.world.oplog().events().back().value).seq, 3u);
+}
+
+TEST(Abd, SingleWriterModeUsesOnePhase) {
+  Options opt;
+  opt.single_writer = true;
+  System sys = make_system(opt);
+  Scheduler sched;
+
+  const Value v = unique_value(1, 1, opt.value_size);
+  const std::uint64_t steps_before = sys.world.step_count();
+  sys.world.invoke(sys.writers[0], write_of(v));
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 10000));
+  // One phase: N store requests out, quorum acks back suffice. The whole
+  // write costs at most N + N deliveries plus the invocation.
+  EXPECT_LE(sys.world.step_count() - steps_before,
+            1 + 2 * opt.n_servers);
+
+  sys.world.invoke(sys.readers[0], read_op());
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 10000));
+  EXPECT_EQ(sys.world.oplog().events().back().value, v);
+}
+
+TEST(Abd, TwoWritersBothTerminateAndReadSeesOne) {
+  Options opt;
+  opt.n_writers = 2;
+  System sys = make_system(opt);
+  Scheduler sched(Scheduler::Policy::kRandom, 99);
+
+  const Value v1 = unique_value(1, 1, opt.value_size);
+  const Value v2 = unique_value(2, 1, opt.value_size);
+  sys.world.invoke(sys.writers[0], write_of(v1));
+  sys.world.invoke(sys.writers[1], write_of(v2));
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 2, 20000));
+
+  sys.world.invoke(sys.readers[0], read_op());
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 20000));
+  const Value got = sys.world.oplog().events().back().value;
+  EXPECT_TRUE(got == v1 || got == v2);
+}
+
+TEST(Abd, ServerStorageIsExactlyOneValue) {
+  Options opt;
+  opt.value_size = 128;
+  System sys = make_system(opt);
+  Scheduler sched;
+
+  sys.world.invoke(sys.writers[0],
+                   write_of(unique_value(1, 1, opt.value_size)));
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 10000));
+  sched.drain(sys.world, 10000);
+
+  // Replication: every server stores exactly one value of B bits — flat in
+  // the number of past writes (the ABD line of Figure 1 is flat in nu).
+  const double B = 8.0 * static_cast<double>(opt.value_size);
+  for (NodeId s : sys.servers) {
+    EXPECT_DOUBLE_EQ(sys.world.process(s).state_size().value_bits, B);
+  }
+  EXPECT_DOUBLE_EQ(sys.world.total_server_storage().value_bits,
+                   static_cast<double>(opt.n_servers) * B);
+}
+
+TEST(Abd, StorageDoesNotGrowWithWriteCount) {
+  Options opt;
+  System sys = make_system(opt);
+  Scheduler sched;
+  const double B = 8.0 * static_cast<double>(opt.value_size);
+
+  for (std::uint64_t seq = 1; seq <= 10; ++seq) {
+    sys.world.invoke(sys.writers[0],
+                     write_of(unique_value(1, seq, opt.value_size)));
+    ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 10000));
+    EXPECT_DOUBLE_EQ(sys.world.total_server_storage().value_bits,
+                     static_cast<double>(opt.n_servers) * B);
+  }
+}
+
+TEST(Abd, WriterRejectsReadInvocation) {
+  System sys = make_system(Options{});
+  EXPECT_THROW(sys.world.invoke(sys.writers[0], read_op()), ContractError);
+}
+
+TEST(Abd, WellFormednessViolationIsDetected) {
+  Options opt;
+  System sys = make_system(opt);
+  sys.world.invoke(sys.writers[0],
+                   write_of(unique_value(1, 1, opt.value_size)));
+  // Second invocation while the first is still pending.
+  EXPECT_THROW(sys.world.invoke(sys.writers[0],
+                                write_of(unique_value(1, 2, opt.value_size))),
+               ContractError);
+}
+
+TEST(Abd, InsufficientServersForSafetyRejected) {
+  Options opt;
+  opt.n_servers = 4;
+  opt.f = 2;  // needs 5
+  EXPECT_THROW(make_system(opt), ContractError);
+}
+
+// New-old inversion guard: after a read returns the new value, a later read
+// must not return the older one (the write-back phase enforces this).
+TEST(Abd, NoNewOldInversionAcrossSequentialReads) {
+  Options opt;
+  opt.n_readers = 2;
+  System sys = make_system(opt);
+  Scheduler sched(Scheduler::Policy::kRandom, 5);
+
+  sys.world.invoke(sys.writers[0],
+                   write_of(unique_value(1, 1, opt.value_size)));
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 10000));
+  sys.world.invoke(sys.writers[0],
+                   write_of(unique_value(1, 2, opt.value_size)));
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 10000));
+
+  sys.world.invoke(sys.readers[0], read_op());
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 10000));
+  const auto first = sys.world.oplog().events().back().value;
+
+  sys.world.invoke(sys.readers[1], read_op());
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 10000));
+  const auto second = sys.world.oplog().events().back().value;
+
+  EXPECT_GE(value_identity(second).seq, value_identity(first).seq);
+}
+
+// Seed sweep: under many random schedules, a write concurrent with a read
+// never makes the read return garbage — it returns either the old or the
+// new value (regularity, checked structurally here; the full checker-based
+// property tests live in tests/consistency/).
+class AbdScheduleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AbdScheduleSweep, ConcurrentReadReturnsOldOrNew) {
+  Options opt;
+  System sys = make_system(opt);
+  Scheduler sched(Scheduler::Policy::kRandom, GetParam());
+
+  const Value v0 = enum_value(0, opt.value_size);
+  const Value v1 = unique_value(1, 1, opt.value_size);
+
+  sys.world.invoke(sys.writers[0], write_of(v1));
+  // Let the write make partial progress, then start a concurrent read.
+  for (int i = 0; i < 3; ++i) sched.step(sys.world);
+  sys.world.invoke(sys.readers[0], read_op());
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 2, 20000));
+
+  for (const auto& e : sys.world.oplog().events()) {
+    if (e.kind == OpEvent::Kind::kResponse && e.type == OpType::kRead) {
+      EXPECT_TRUE(e.value == v0 || e.value == v1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbdScheduleSweep,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace memu::abd

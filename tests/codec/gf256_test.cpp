@@ -1,0 +1,100 @@
+#include "codec/gf256.h"
+
+#include <gtest/gtest.h>
+
+namespace memu::gf256 {
+namespace {
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(add(0x57, 0x83), 0x57 ^ 0x83);
+  EXPECT_EQ(add(0, 0xff), 0xff);
+  EXPECT_EQ(sub(0x57, 0x83), add(0x57, 0x83));  // characteristic 2
+}
+
+TEST(Gf256, MultiplicativeIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(mul(1, static_cast<std::uint8_t>(a)), a);
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(Gf256, KnownProduct) {
+  // 0x02 * 0x80 = 0x100 mod 0x11d = 0x1d.
+  EXPECT_EQ(mul(0x02, 0x80), 0x1d);
+}
+
+TEST(Gf256, MultiplicationCommutes) {
+  for (int a = 0; a < 256; a += 7)
+    for (int b = 0; b < 256; b += 5)
+      EXPECT_EQ(mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                mul(static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a)));
+}
+
+TEST(Gf256, MultiplicationAssociates) {
+  const std::uint8_t xs[] = {0x03, 0x1d, 0x57, 0xfe};
+  for (auto a : xs)
+    for (auto b : xs)
+      for (auto c : xs)
+        EXPECT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+}
+
+TEST(Gf256, DistributesOverAddition) {
+  for (int a = 1; a < 256; a += 11)
+    for (int b = 0; b < 256; b += 13)
+      for (int c = 0; c < 256; c += 17) {
+        const auto ua = static_cast<std::uint8_t>(a);
+        const auto ub = static_cast<std::uint8_t>(b);
+        const auto uc = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(mul(ua, add(ub, uc)), add(mul(ua, ub), mul(ua, uc)));
+      }
+}
+
+TEST(Gf256, EveryNonzeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto ua = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(mul(ua, inv(ua)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, InverseOfZeroIsContractViolation) {
+  EXPECT_THROW(inv(0), ContractError);
+  EXPECT_THROW(div(1, 0), ContractError);
+}
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  for (int a = 0; a < 256; a += 3)
+    for (int b = 1; b < 256; b += 7) {
+      const auto ua = static_cast<std::uint8_t>(a);
+      const auto ub = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(div(mul(ua, ub), ub), ua);
+    }
+}
+
+TEST(Gf256, PowMatchesRepeatedMultiplication) {
+  for (std::uint8_t base : {std::uint8_t{2}, std::uint8_t{3}, std::uint8_t{0x1d}}) {
+    std::uint8_t acc = 1;
+    for (std::uint64_t e = 0; e < 300; ++e) {
+      EXPECT_EQ(pow(base, e), acc) << "base=" << int(base) << " e=" << e;
+      acc = mul(acc, base);
+    }
+  }
+}
+
+TEST(Gf256, PowZeroBase) {
+  EXPECT_EQ(pow(0, 0), 1);  // convention
+  EXPECT_EQ(pow(0, 5), 0);
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // g = 2 generates the multiplicative group: order 255.
+  std::uint8_t x = 1;
+  for (int i = 1; i < 255; ++i) {
+    x = mul(x, 2);
+    EXPECT_NE(x, 1) << "premature cycle at " << i;
+  }
+  EXPECT_EQ(mul(x, 2), 1);
+}
+
+}  // namespace
+}  // namespace memu::gf256

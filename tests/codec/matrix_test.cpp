@@ -1,0 +1,111 @@
+#include "codec/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace memu {
+namespace {
+
+TEST(GfMatrix, IdentityActsTrivially) {
+  const GfMatrix id = GfMatrix::identity(4);
+  GfMatrix m(4, 4);
+  Rng rng(1);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) m.set(r, c, rng.next_byte());
+  EXPECT_EQ(id.mul(m), m);
+  EXPECT_EQ(m.mul(id), m);
+}
+
+TEST(GfMatrix, VandermondeEntries) {
+  const GfMatrix v = GfMatrix::vandermonde(3, 3);
+  // Row r uses point x = r + 1: row = (1, x, x^2).
+  EXPECT_EQ(v.at(0, 0), 1);
+  EXPECT_EQ(v.at(0, 1), 1);
+  EXPECT_EQ(v.at(0, 2), 1);
+  EXPECT_EQ(v.at(1, 0), 1);
+  EXPECT_EQ(v.at(1, 1), 2);
+  EXPECT_EQ(v.at(1, 2), 4);
+  EXPECT_EQ(v.at(2, 0), 1);
+  EXPECT_EQ(v.at(2, 1), 3);
+  EXPECT_EQ(v.at(2, 2), gf256::mul(3, 3));
+}
+
+TEST(GfMatrix, InverseRoundTrip) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    GfMatrix m(5, 5);
+    for (std::size_t r = 0; r < 5; ++r)
+      for (std::size_t c = 0; c < 5; ++c) m.set(r, c, rng.next_byte());
+    const auto inv = m.inverse();
+    if (!inv) continue;  // singular random matrix: skip
+    EXPECT_EQ(m.mul(*inv), GfMatrix::identity(5));
+    EXPECT_EQ(inv->mul(m), GfMatrix::identity(5));
+  }
+}
+
+TEST(GfMatrix, SingularMatrixHasNoInverse) {
+  GfMatrix m(3, 3);
+  // Two equal rows.
+  for (std::size_t c = 0; c < 3; ++c) {
+    m.set(0, c, static_cast<std::uint8_t>(c + 1));
+    m.set(1, c, static_cast<std::uint8_t>(c + 1));
+    m.set(2, c, static_cast<std::uint8_t>(7 * c + 3));
+  }
+  EXPECT_FALSE(m.inverse().has_value());
+}
+
+TEST(GfMatrix, ZeroMatrixHasNoInverse) {
+  EXPECT_FALSE(GfMatrix(2, 2).inverse().has_value());
+}
+
+TEST(GfMatrix, AnySquareVandermondeSubmatrixInvertible) {
+  // The MDS property's backbone: every k-row selection must be invertible.
+  const std::size_t n = 8, k = 3;
+  const GfMatrix v = GfMatrix::vandermonde(n, k);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b)
+      for (std::size_t c = b + 1; c < n; ++c) {
+        const auto sub = v.select_rows({a, b, c});
+        EXPECT_TRUE(sub.inverse().has_value())
+            << "rows " << a << "," << b << "," << c;
+      }
+}
+
+TEST(GfMatrix, ApplyMatchesMul) {
+  Rng rng(3);
+  GfMatrix m(4, 3);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m.set(r, c, rng.next_byte());
+  std::vector<std::uint8_t> v{rng.next_byte(), rng.next_byte(),
+                              rng.next_byte()};
+  const auto out = m.apply(v);
+  ASSERT_EQ(out.size(), 4u);
+  GfMatrix col(3, 1);
+  for (std::size_t i = 0; i < 3; ++i) col.set(i, 0, v[i]);
+  const GfMatrix prod = m.mul(col);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(out[i], prod.at(i, 0));
+}
+
+TEST(GfMatrix, SelectRowsPreservesContent) {
+  const GfMatrix v = GfMatrix::vandermonde(5, 2);
+  const GfMatrix sub = v.select_rows({4, 1});
+  EXPECT_EQ(sub.rows(), 2u);
+  EXPECT_EQ(sub.at(0, 0), v.at(4, 0));
+  EXPECT_EQ(sub.at(0, 1), v.at(4, 1));
+  EXPECT_EQ(sub.at(1, 0), v.at(1, 0));
+  EXPECT_EQ(sub.at(1, 1), v.at(1, 1));
+}
+
+TEST(GfMatrix, MulDimensionMismatchIsContractViolation) {
+  GfMatrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a.mul(b), ContractError);
+}
+
+TEST(GfMatrix, VandermondeRowLimit) {
+  EXPECT_THROW(GfMatrix::vandermonde(256, 2), ContractError);
+  EXPECT_NO_THROW(GfMatrix::vandermonde(255, 2));
+}
+
+}  // namespace
+}  // namespace memu

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "codec/codec.h"
+#include "common/rng.h"
+
+namespace memu {
+namespace {
+
+Bytes random_value(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes v(size);
+  for (auto& b : v) b = rng.next_byte();
+  return v;
+}
+
+TEST(ReedSolomon, EncodeProducesNShards) {
+  const auto codec = make_rs_codec(7, 3);
+  const Bytes value = random_value(100, 1);
+  const auto shards = codec->encode(value);
+  EXPECT_EQ(shards.size(), 7u);
+  for (const auto& s : shards) EXPECT_EQ(s.size(), codec->shard_size(100));
+}
+
+TEST(ReedSolomon, SystematicPrefixCarriesRawValue) {
+  const auto codec = make_rs_codec(6, 3);
+  Bytes value(30);
+  std::iota(value.begin(), value.end(), std::uint8_t{0});
+  const auto shards = codec->encode(value);
+  // Shard i of the systematic code is stripe i of the value.
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 10; ++j)
+      EXPECT_EQ(shards[i][j], value[i * 10 + j]);
+}
+
+TEST(ReedSolomon, DecodeFromFirstKShards) {
+  const auto codec = make_rs_codec(7, 3);
+  const Bytes value = random_value(99, 2);
+  const auto shards = codec->encode(value);
+  std::vector<std::pair<std::size_t, Bytes>> input;
+  for (std::size_t i = 0; i < 3; ++i) input.emplace_back(i, shards[i]);
+  EXPECT_EQ(codec->decode(input, 99), value);
+}
+
+TEST(ReedSolomon, DecodeFromParityOnly) {
+  const auto codec = make_rs_codec(7, 3);
+  const Bytes value = random_value(64, 3);
+  const auto shards = codec->encode(value);
+  std::vector<std::pair<std::size_t, Bytes>> input;
+  for (std::size_t i = 4; i < 7; ++i) input.emplace_back(i, shards[i]);
+  EXPECT_EQ(codec->decode(input, 64), value);
+}
+
+TEST(ReedSolomon, DecodeFromEveryKSubset) {
+  // Full MDS property check on a small code.
+  const auto codec = make_rs_codec(6, 3);
+  const Bytes value = random_value(50, 4);
+  const auto shards = codec->encode(value);
+  for (std::size_t a = 0; a < 6; ++a)
+    for (std::size_t b = a + 1; b < 6; ++b)
+      for (std::size_t c = b + 1; c < 6; ++c) {
+        std::vector<std::pair<std::size_t, Bytes>> input{
+            {a, shards[a]}, {b, shards[b]}, {c, shards[c]}};
+        EXPECT_EQ(codec->decode(input, 50), value)
+            << a << "," << b << "," << c;
+      }
+}
+
+TEST(ReedSolomon, FewerThanKShardsFails) {
+  const auto codec = make_rs_codec(5, 3);
+  const Bytes value = random_value(30, 5);
+  const auto shards = codec->encode(value);
+  std::vector<std::pair<std::size_t, Bytes>> input{{0, shards[0]},
+                                                   {1, shards[1]}};
+  EXPECT_FALSE(codec->decode(input, 30).has_value());
+}
+
+TEST(ReedSolomon, DuplicateShardIndicesDoNotCount) {
+  const auto codec = make_rs_codec(5, 3);
+  const Bytes value = random_value(30, 6);
+  const auto shards = codec->encode(value);
+  std::vector<std::pair<std::size_t, Bytes>> input{
+      {0, shards[0]}, {0, shards[0]}, {1, shards[1]}};
+  EXPECT_FALSE(codec->decode(input, 30).has_value());
+}
+
+TEST(ReedSolomon, OutOfRangeShardIndexRejected) {
+  const auto codec = make_rs_codec(5, 3);
+  const Bytes value = random_value(30, 7);
+  const auto shards = codec->encode(value);
+  std::vector<std::pair<std::size_t, Bytes>> input{
+      {0, shards[0]}, {1, shards[1]}, {9, shards[2]}};
+  EXPECT_FALSE(codec->decode(input, 30).has_value());
+}
+
+TEST(ReedSolomon, ExtraShardsAreHarmless) {
+  const auto codec = make_rs_codec(6, 2);
+  const Bytes value = random_value(41, 8);
+  const auto shards = codec->encode(value);
+  std::vector<std::pair<std::size_t, Bytes>> input;
+  for (std::size_t i = 0; i < 6; ++i) input.emplace_back(i, shards[i]);
+  EXPECT_EQ(codec->decode(input, 41), value);
+}
+
+TEST(ReedSolomon, ValueSizeNotDivisibleByK) {
+  const auto codec = make_rs_codec(5, 3);
+  for (std::size_t size : {1u, 2u, 3u, 7u, 31u, 100u}) {
+    const Bytes value = random_value(size, 100 + size);
+    const auto shards = codec->encode(value);
+    std::vector<std::pair<std::size_t, Bytes>> input{
+        {1, shards[1]}, {3, shards[3]}, {4, shards[4]}};
+    EXPECT_EQ(codec->decode(input, size), value) << "size=" << size;
+  }
+}
+
+TEST(ReedSolomon, KEqualsNDegeneratesToSplitting) {
+  const auto codec = make_rs_codec(4, 4);
+  const Bytes value = random_value(40, 9);
+  const auto shards = codec->encode(value);
+  std::vector<std::pair<std::size_t, Bytes>> input;
+  for (std::size_t i = 0; i < 4; ++i) input.emplace_back(i, shards[i]);
+  EXPECT_EQ(codec->decode(input, 40), value);
+}
+
+TEST(ReedSolomon, InvalidParametersAreContractViolations) {
+  EXPECT_THROW(make_rs_codec(3, 4), ContractError);   // k > n
+  EXPECT_THROW(make_rs_codec(5, 0), ContractError);   // k = 0
+  EXPECT_THROW(make_rs_codec(300, 2), ContractError); // n > 255
+}
+
+TEST(ReedSolomon, ShardValueBits) {
+  const auto codec = make_rs_codec(9, 3);
+  EXPECT_DOUBLE_EQ(codec->shard_value_bits(3000), 1000);
+}
+
+TEST(Replication, EncodeCopies) {
+  const auto codec = make_replication_codec(4);
+  EXPECT_EQ(codec->k(), 1u);
+  const Bytes value = random_value(20, 10);
+  const auto shards = codec->encode(value);
+  ASSERT_EQ(shards.size(), 4u);
+  for (const auto& s : shards) EXPECT_EQ(s, value);
+}
+
+TEST(Replication, DecodeFromAnySingleShard) {
+  const auto codec = make_replication_codec(4);
+  const Bytes value = random_value(20, 11);
+  const auto shards = codec->encode(value);
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::vector<std::pair<std::size_t, Bytes>> input{{i, shards[i]}};
+    EXPECT_EQ(codec->decode(input, 20), value);
+  }
+}
+
+TEST(Replication, EmptyInputFails) {
+  const auto codec = make_replication_codec(3);
+  EXPECT_FALSE(codec->decode({}, 20).has_value());
+}
+
+// Parameterized sweep: round-trip across a grid of (n, k) configurations,
+// including the CAS-relevant k = N - 2f settings.
+class RsRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(RsRoundTrip, LosesNothing) {
+  const auto [n, k] = GetParam();
+  const auto codec = make_rs_codec(n, k);
+  const Bytes value = random_value(257, n * 1000 + k);
+  const auto shards = codec->encode(value);
+  // Take the *last* k shards (worst case for a systematic code).
+  std::vector<std::pair<std::size_t, Bytes>> input;
+  for (std::size_t i = n - k; i < n; ++i) input.emplace_back(i, shards[i]);
+  EXPECT_EQ(codec->decode(input, 257), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RsRoundTrip,
+    ::testing::Values(std::tuple{3u, 1u}, std::tuple{5u, 3u},
+                      std::tuple{9u, 5u}, std::tuple{21u, 11u},
+                      std::tuple{21u, 1u}, std::tuple{15u, 15u},
+                      std::tuple{255u, 128u}));
+
+}  // namespace
+}  // namespace memu

@@ -1,0 +1,71 @@
+#include "common/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace memu {
+namespace {
+
+TEST(Bits, StateBitsArithmetic) {
+  StateBits a{10, 2};
+  StateBits b{5, 1};
+  const StateBits c = a + b;
+  EXPECT_DOUBLE_EQ(c.value_bits, 15);
+  EXPECT_DOUBLE_EQ(c.metadata_bits, 3);
+  EXPECT_DOUBLE_EQ(c.total(), 18);
+}
+
+TEST(Bits, Log2dExactPowers) {
+  EXPECT_DOUBLE_EQ(log2d(1), 0);
+  EXPECT_DOUBLE_EQ(log2d(2), 1);
+  EXPECT_DOUBLE_EQ(log2d(1024), 10);
+}
+
+TEST(Bits, Log2dRejectsNonPositive) {
+  EXPECT_THROW(log2d(0), ContractError);
+  EXPECT_THROW(log2d(-3), ContractError);
+}
+
+TEST(Bits, Log2FactorialMatchesDirectComputation) {
+  // log2(5!) = log2(120)
+  EXPECT_NEAR(log2_factorial(5), std::log2(120.0), 1e-9);
+  EXPECT_NEAR(log2_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log2_factorial(1), 0.0, 1e-12);
+}
+
+TEST(Bits, Log2BinomialMatchesPascal) {
+  // C(10, 3) = 120
+  EXPECT_NEAR(log2_binomial(10, 3), std::log2(120.0), 1e-9);
+  // C(n, 0) = C(n, n) = 1
+  EXPECT_NEAR(log2_binomial(7, 0), 0.0, 1e-9);
+  EXPECT_NEAR(log2_binomial(7, 7), 0.0, 1e-9);
+}
+
+TEST(Bits, Log2BinomialContract) {
+  EXPECT_THROW(log2_binomial(3, 4), ContractError);
+}
+
+TEST(Bits, BitsToAddress) {
+  EXPECT_EQ(bits_to_address(1), 0u);
+  EXPECT_EQ(bits_to_address(2), 1u);
+  EXPECT_EQ(bits_to_address(3), 2u);
+  EXPECT_EQ(bits_to_address(4), 2u);
+  EXPECT_EQ(bits_to_address(5), 3u);
+  EXPECT_EQ(bits_to_address(1024), 10u);
+  EXPECT_EQ(bits_to_address(1025), 11u);
+  EXPECT_THROW(bits_to_address(0), ContractError);
+}
+
+// Large-|V| sanity: log2 C(M, nu) = nu*log2(M) - log2(nu!) - eps for
+// M >> nu — the step the paper uses to turn Theorem 6.5's exact bound into
+// the asymptotic nu*N/(N-f+nu-1) form.
+TEST(Bits, BinomialAsymptoticMatchesPaperApproximation) {
+  const std::uint64_t big = 1ull << 30;  // |V| - 1
+  const std::uint64_t nu = 4;
+  const double exact = log2_binomial(big, nu);
+  const double upper = static_cast<double>(nu) * std::log2(static_cast<double>(big));
+  EXPECT_LE(exact, upper);
+  EXPECT_GE(exact, upper - log2_factorial(nu) - 1e-6);
+}
+
+}  // namespace
+}  // namespace memu

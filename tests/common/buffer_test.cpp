@@ -1,0 +1,84 @@
+#include "common/buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace memu {
+namespace {
+
+TEST(Buffer, RoundTripPrimitives) {
+  BufWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.boolean(true);
+  w.boolean(false);
+  const Bytes data = std::move(w).take();
+
+  BufReader r(data);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Buffer, RoundTripBytesAndStrings) {
+  BufWriter w;
+  w.bytes(Bytes{1, 2, 3});
+  w.str("hello");
+  w.bytes(Bytes{});  // empty
+  const Bytes data = std::move(w).take();
+
+  BufReader r(data);
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bytes(), Bytes{});
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Buffer, TruncatedReadThrows) {
+  BufWriter w;
+  w.u32(5);
+  const Bytes data = w.data();
+  BufReader r(data);
+  EXPECT_THROW(r.u64(), ContractError);
+}
+
+TEST(Buffer, TruncatedByteStringThrows) {
+  BufWriter w;
+  w.u64(100);  // claims 100 bytes follow, none do
+  const Bytes data = w.data();
+  BufReader r(data);
+  EXPECT_THROW(r.bytes(), ContractError);
+}
+
+TEST(Buffer, DeterministicEncoding) {
+  auto encode = [] {
+    BufWriter w;
+    w.u64(7);
+    w.str("x");
+    return std::move(w).take();
+  };
+  EXPECT_EQ(encode(), encode());
+}
+
+TEST(Buffer, LittleEndianLayout) {
+  BufWriter w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data(), (Bytes{0x04, 0x03, 0x02, 0x01}));
+}
+
+TEST(Buffer, RemainingTracksPosition) {
+  BufWriter w;
+  w.u32(1);
+  w.u32(2);
+  const Bytes data = w.data();
+  BufReader r(data);
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace memu

@@ -1,0 +1,43 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace memu {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(MEMU_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(MEMU_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailingCheckThrowsContractError) {
+  EXPECT_THROW(MEMU_CHECK(false), ContractError);
+}
+
+TEST(Check, MessageIncludesExpressionAndDetail) {
+  try {
+    MEMU_CHECK_MSG(2 < 1, "detail " << 42);
+    FAIL() << "expected throw";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("detail 42"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, UnreachableThrows) {
+  EXPECT_THROW(MEMU_UNREACHABLE("boom"), ContractError);
+}
+
+TEST(Check, SideEffectsInConditionRunOnce) {
+  int calls = 0;
+  auto f = [&] {
+    ++calls;
+    return true;
+  };
+  MEMU_CHECK(f());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace memu

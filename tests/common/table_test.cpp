@@ -1,0 +1,48 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace memu {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"a", "bb"}, 6);
+  t.row().cell(std::size_t{1}).cell("x");
+  t.row().cell(2.5, 1).cell("y");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_NE(out.find("y"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(out.find("--"), std::string::npos);
+}
+
+TEST(Table, FixedPrecision) {
+  Table t({"v"}, 10);
+  t.row().cell(1.0 / 3.0, 4);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("0.3333"), std::string::npos);
+}
+
+TEST(Table, CellWithoutRowIsContractViolation) {
+  Table t({"v"});
+  EXPECT_THROW(t.cell("x"), ContractError);
+}
+
+TEST(Table, EmptyTablePrintsHeaderOnly) {
+  Table t({"only"}, 8);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace memu

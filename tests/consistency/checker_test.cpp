@@ -1,0 +1,306 @@
+#include "consistency/checker.h"
+
+#include <gtest/gtest.h>
+
+namespace memu {
+namespace {
+
+// Tiny builder for synthetic histories. Steps are assigned in call order.
+class HistoryBuilder {
+ public:
+  std::uint64_t invoke_write(NodeId client, const Value& v) {
+    const std::uint64_t id = next_id_++;
+    log_.append({OpEvent::Kind::kInvoke, client, id, OpType::kWrite, v,
+                 step_++});
+    return id;
+  }
+
+  std::uint64_t invoke_read(NodeId client) {
+    const std::uint64_t id = next_id_++;
+    log_.append(
+        {OpEvent::Kind::kInvoke, client, id, OpType::kRead, {}, step_++});
+    return id;
+  }
+
+  void respond_write(NodeId client, std::uint64_t id) {
+    log_.append(
+        {OpEvent::Kind::kResponse, client, id, OpType::kWrite, {}, step_++});
+  }
+
+  void respond_read(NodeId client, std::uint64_t id, const Value& v) {
+    log_.append(
+        {OpEvent::Kind::kResponse, client, id, OpType::kRead, v, step_++});
+  }
+
+  History history() const { return History::from_oplog(log_); }
+
+ private:
+  OpLog log_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t step_ = 1;
+};
+
+const Value v0 = enum_value(0, 16);
+const Value v1 = enum_value(1, 16);
+const Value v2 = enum_value(2, 16);
+const Value v3 = enum_value(3, 16);
+const NodeId W1{10}, W2{11}, R1{20}, R2{21};
+
+TEST(History, PairsInvokeAndResponse) {
+  HistoryBuilder b;
+  const auto w = b.invoke_write(W1, v1);
+  b.respond_write(W1, w);
+  const auto r = b.invoke_read(R1);
+  b.respond_read(R1, r, v1);
+  const History h = b.history();
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_TRUE(h.operations()[0].completed());
+  EXPECT_EQ(h.operations()[0].written, v1);
+  EXPECT_EQ(h.operations()[1].returned, v1);
+  EXPECT_TRUE(h.operations()[0].precedes(h.operations()[1]));
+}
+
+TEST(History, PendingOperationHasNoResponse) {
+  HistoryBuilder b;
+  b.invoke_write(W1, v1);
+  const History h = b.history();
+  EXPECT_FALSE(h.operations()[0].completed());
+}
+
+TEST(CheckAtomic, SequentialHistoryPasses) {
+  HistoryBuilder b;
+  const auto w = b.invoke_write(W1, v1);
+  b.respond_write(W1, w);
+  const auto r = b.invoke_read(R1);
+  b.respond_read(R1, r, v1);
+  EXPECT_TRUE(check_atomic(b.history(), v0).ok);
+}
+
+TEST(CheckAtomic, EmptyHistoryPasses) {
+  HistoryBuilder b;
+  EXPECT_TRUE(check_atomic(b.history(), v0).ok);
+}
+
+TEST(CheckAtomic, ReadOfInitialValueBeforeWritesPasses) {
+  HistoryBuilder b;
+  const auto r = b.invoke_read(R1);
+  b.respond_read(R1, r, v0);
+  EXPECT_TRUE(check_atomic(b.history(), v0).ok);
+}
+
+TEST(CheckAtomic, StaleReadAfterCompletedWriteFails) {
+  HistoryBuilder b;
+  const auto w = b.invoke_write(W1, v1);
+  b.respond_write(W1, w);
+  const auto r = b.invoke_read(R1);
+  b.respond_read(R1, r, v0);  // stale: w completed before r began
+  const auto res = check_atomic(b.history(), v0);
+  EXPECT_FALSE(res.ok);
+  EXPECT_FALSE(res.violation.empty());
+}
+
+TEST(CheckAtomic, NeverWrittenValueFails) {
+  HistoryBuilder b;
+  const auto r = b.invoke_read(R1);
+  b.respond_read(R1, r, v3);
+  const auto res = check_atomic(b.history(), v0);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.violation.find("never-written"), std::string::npos);
+}
+
+TEST(CheckAtomic, NewOldInversionFails) {
+  // w1; w2 overlapping two sequential reads; r1 sees v2, then r2 sees v1.
+  HistoryBuilder b;
+  const auto w1 = b.invoke_write(W1, v1);
+  b.respond_write(W1, w1);
+  b.invoke_write(W1, v2);  // w2 stays pending (overlaps everything below)
+  const auto r1 = b.invoke_read(R1);
+  b.respond_read(R1, r1, v2);
+  const auto r2 = b.invoke_read(R2);  // starts after r1 responded
+  b.respond_read(R2, r2, v1);
+  EXPECT_FALSE(check_atomic(b.history(), v0).ok);
+  // ...but the same history is weakly regular: each read alone is
+  // explainable.
+  EXPECT_TRUE(check_weakly_regular(b.history(), v0).ok);
+}
+
+TEST(CheckAtomic, PendingWriteMayBeObserved) {
+  HistoryBuilder b;
+  b.invoke_write(W1, v1);  // never responds
+  const auto r = b.invoke_read(R1);
+  b.respond_read(R1, r, v1);
+  EXPECT_TRUE(check_atomic(b.history(), v0).ok);
+}
+
+TEST(CheckAtomic, PendingWriteMayAlsoNotBeObserved) {
+  HistoryBuilder b;
+  b.invoke_write(W1, v1);  // never responds
+  const auto r = b.invoke_read(R1);
+  b.respond_read(R1, r, v0);
+  EXPECT_TRUE(check_atomic(b.history(), v0).ok);
+}
+
+TEST(CheckAtomic, ObservedPendingWriteBindsLaterReads) {
+  // Once r1 observes pending w(v1), a later read may not revert to v0.
+  HistoryBuilder b;
+  b.invoke_write(W1, v1);  // pending
+  const auto r1 = b.invoke_read(R1);
+  b.respond_read(R1, r1, v1);
+  const auto r2 = b.invoke_read(R1);
+  b.respond_read(R1, r2, v0);
+  EXPECT_FALSE(check_atomic(b.history(), v0).ok);
+}
+
+TEST(CheckAtomic, ConcurrentWritesAnyOrderForSingleRead) {
+  HistoryBuilder b;
+  const auto w1 = b.invoke_write(W1, v1);
+  const auto w2 = b.invoke_write(W2, v2);
+  b.respond_write(W1, w1);
+  b.respond_write(W2, w2);
+  const auto r = b.invoke_read(R1);
+  b.respond_read(R1, r, v1);  // order w2 before w1 explains this
+  EXPECT_TRUE(check_atomic(b.history(), v0).ok);
+}
+
+TEST(CheckAtomic, InterleavedReadsForceConsistentWriteOrder) {
+  // Two sequential reads seeing v1 then v2 while both writes were
+  // concurrent is fine...
+  HistoryBuilder b;
+  const auto w1 = b.invoke_write(W1, v1);
+  const auto w2 = b.invoke_write(W2, v2);
+  const auto r1 = b.invoke_read(R1);
+  b.respond_read(R1, r1, v1);
+  const auto r2 = b.invoke_read(R1);
+  b.respond_read(R1, r2, v2);
+  b.respond_write(W1, w1);
+  b.respond_write(W2, w2);
+  EXPECT_TRUE(check_atomic(b.history(), v0).ok);
+}
+
+TEST(CheckAtomic, ReadBackAndForthBetweenConcurrentWritesFails) {
+  // v1, v2, then v1 again across three sequential reads: no single write
+  // order explains it.
+  HistoryBuilder b;
+  const auto w1 = b.invoke_write(W1, v1);
+  const auto w2 = b.invoke_write(W2, v2);
+  const auto r1 = b.invoke_read(R1);
+  b.respond_read(R1, r1, v1);
+  const auto r2 = b.invoke_read(R1);
+  b.respond_read(R1, r2, v2);
+  const auto r3 = b.invoke_read(R1);
+  b.respond_read(R1, r3, v1);
+  b.respond_write(W1, w1);
+  b.respond_write(W2, w2);
+  EXPECT_FALSE(check_atomic(b.history(), v0).ok);
+  // Weak regularity tolerates it (each read individually explainable).
+  EXPECT_TRUE(check_weakly_regular(b.history(), v0).ok);
+}
+
+TEST(CheckRegularSwsr, LatestPrecedingWriteRequired) {
+  HistoryBuilder b;
+  const auto w1 = b.invoke_write(W1, v1);
+  b.respond_write(W1, w1);
+  const auto w2 = b.invoke_write(W1, v2);
+  b.respond_write(W1, w2);
+  const auto r = b.invoke_read(R1);
+  b.respond_read(R1, r, v1);  // stale: w2 completed before r
+  EXPECT_FALSE(check_regular_swsr(b.history(), v0).ok);
+}
+
+TEST(CheckRegularSwsr, OverlappingWriteValueAllowed) {
+  HistoryBuilder b;
+  const auto w1 = b.invoke_write(W1, v1);
+  b.respond_write(W1, w1);
+  b.invoke_write(W1, v2);  // pending, overlaps the read
+  const auto r = b.invoke_read(R1);
+  b.respond_read(R1, r, v2);
+  EXPECT_TRUE(check_regular_swsr(b.history(), v0).ok);
+}
+
+TEST(CheckRegularSwsr, OldValueDuringOverlapAllowed) {
+  HistoryBuilder b;
+  const auto w1 = b.invoke_write(W1, v1);
+  b.respond_write(W1, w1);
+  b.invoke_write(W1, v2);  // pending
+  const auto r = b.invoke_read(R1);
+  b.respond_read(R1, r, v1);  // old value during overlap: regular allows
+  EXPECT_TRUE(check_regular_swsr(b.history(), v0).ok);
+}
+
+TEST(CheckRegularSwsr, InitialValueOnlyBeforeFirstCompletedWrite) {
+  HistoryBuilder b;
+  const auto r1 = b.invoke_read(R1);
+  b.respond_read(R1, r1, v0);
+  const auto w1 = b.invoke_write(W1, v1);
+  b.respond_write(W1, w1);
+  const auto r2 = b.invoke_read(R1);
+  b.respond_read(R1, r2, v0);  // stale
+  EXPECT_FALSE(check_regular_swsr(b.history(), v0).ok);
+}
+
+TEST(CheckRegularSwsr, RejectsMultiWriterHistories) {
+  HistoryBuilder b;
+  const auto w1 = b.invoke_write(W1, v1);
+  b.respond_write(W1, w1);
+  const auto w2 = b.invoke_write(W2, v2);
+  b.respond_write(W2, w2);
+  const auto res = check_regular_swsr(b.history(), v0);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.violation.find("single-writer"), std::string::npos);
+}
+
+TEST(CheckWeaklyRegular, StaleAfterTerminatedWriteFails) {
+  HistoryBuilder b;
+  const auto w = b.invoke_write(W1, v1);
+  b.respond_write(W1, w);
+  const auto r = b.invoke_read(R1);
+  b.respond_read(R1, r, v0);
+  EXPECT_FALSE(check_weakly_regular(b.history(), v0).ok);
+}
+
+TEST(CheckWeaklyRegular, PendingWritesOptionalPerRead) {
+  HistoryBuilder b;
+  b.invoke_write(W1, v1);  // pending
+  b.invoke_write(W2, v2);  // pending
+  const auto r1 = b.invoke_read(R1);
+  b.respond_read(R1, r1, v1);
+  const auto r2 = b.invoke_read(R2);
+  b.respond_read(R2, r2, v2);
+  EXPECT_TRUE(check_weakly_regular(b.history(), v0).ok);
+}
+
+TEST(CheckAtomic, LinearizableRegisterSanityFromLamportExample) {
+  // Write completes; two fully concurrent reads may disagree only if one
+  // observes a concurrent second write — without one, both must return v1.
+  HistoryBuilder b;
+  const auto w = b.invoke_write(W1, v1);
+  b.respond_write(W1, w);
+  const auto r1 = b.invoke_read(R1);
+  const auto r2 = b.invoke_read(R2);
+  b.respond_read(R1, r1, v1);
+  b.respond_read(R2, r2, v1);
+  EXPECT_TRUE(check_atomic(b.history(), v0).ok);
+}
+
+TEST(CheckAtomic, ReadMayReturnWriteInvokedAfterIt) {
+  // Regression: the read [1, 4] overlaps the write [2, 3] that was invoked
+  // after the read began; returning its value is linearizable.
+  HistoryBuilder b;
+  const auto r = b.invoke_read(R1);
+  const auto w = b.invoke_write(W1, v1);
+  b.respond_write(W1, w);
+  b.respond_read(R1, r, v1);
+  EXPECT_TRUE(check_atomic(b.history(), v0).ok);
+}
+
+TEST(CheckAtomic, TooManyOperationsIsContractViolation) {
+  HistoryBuilder b;
+  for (int i = 0; i < 65; ++i) {
+    const auto w = b.invoke_write(W1, enum_value(100 + i, 16));
+    b.respond_write(W1, w);
+  }
+  EXPECT_THROW(check_atomic(b.history(), v0), ContractError);
+}
+
+}  // namespace
+}  // namespace memu

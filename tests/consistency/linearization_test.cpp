@@ -1,0 +1,150 @@
+// Linearization-witness tests: find_linearization must return a concrete
+// legal order exactly when check_atomic passes, and the order must satisfy
+// real-time precedence and register semantics (validated independently).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "algo/abd/system.h"
+#include "consistency/checker.h"
+#include "workload/driver.h"
+
+namespace memu {
+namespace {
+
+const Value v0 = enum_value(0, 16);
+
+// Independent validation of a witness order against the history.
+void validate_witness(const History& h, const Linearization& lin) {
+  ASSERT_TRUE(lin.exists);
+  std::map<std::uint64_t, const Operation*> by_id;
+  for (const auto& op : h.operations()) by_id[op.op_id] = &op;
+
+  // Every completed operation appears exactly once.
+  std::map<std::uint64_t, std::size_t> count;
+  for (const auto id : lin.order) ++count[id];
+  for (const auto& op : h.operations()) {
+    if (op.completed()) {
+      EXPECT_EQ(count[op.op_id], 1u) << "op " << op.op_id;
+    }
+  }
+
+  // Real-time precedence respected.
+  for (std::size_t i = 0; i < lin.order.size(); ++i) {
+    for (std::size_t j = i + 1; j < lin.order.size(); ++j) {
+      const Operation* a = by_id.at(lin.order[i]);
+      const Operation* b = by_id.at(lin.order[j]);
+      EXPECT_FALSE(b->precedes(*a))
+          << "op " << b->op_id << " precedes op " << a->op_id
+          << " in real time but follows it in the witness";
+    }
+  }
+
+  // Register semantics along the order.
+  Value current = v0;
+  for (const auto id : lin.order) {
+    const Operation* op = by_id.at(id);
+    if (op->type == OpType::kWrite) {
+      current = op->written;
+    } else {
+      EXPECT_EQ(op->returned, current) << "read op " << id;
+    }
+  }
+}
+
+TEST(Linearization, WitnessForSequentialHistory) {
+  OpLog log;
+  const Value v1 = enum_value(1, 16);
+  log.append({OpEvent::Kind::kInvoke, NodeId{1}, 1, OpType::kWrite, v1, 1});
+  log.append({OpEvent::Kind::kResponse, NodeId{1}, 1, OpType::kWrite, {}, 2});
+  log.append({OpEvent::Kind::kInvoke, NodeId{2}, 2, OpType::kRead, {}, 3});
+  log.append({OpEvent::Kind::kResponse, NodeId{2}, 2, OpType::kRead, v1, 4});
+  const History h = History::from_oplog(log);
+
+  const auto lin = find_linearization(h, v0);
+  validate_witness(h, lin);
+  EXPECT_EQ(lin.order, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(Linearization, NoWitnessForInvertedHistory) {
+  OpLog log;
+  const Value v1 = enum_value(1, 16);
+  log.append({OpEvent::Kind::kInvoke, NodeId{1}, 1, OpType::kWrite, v1, 1});
+  log.append({OpEvent::Kind::kResponse, NodeId{1}, 1, OpType::kWrite, {}, 2});
+  log.append({OpEvent::Kind::kInvoke, NodeId{2}, 2, OpType::kRead, {}, 3});
+  log.append({OpEvent::Kind::kResponse, NodeId{2}, 2, OpType::kRead, v0, 4});
+  const History h = History::from_oplog(log);
+  EXPECT_FALSE(find_linearization(h, v0).exists);
+}
+
+TEST(Linearization, WitnessOrdersConcurrentWriteByObservation) {
+  // Read overlaps the write and returns its value: the witness must place
+  // the write before the read.
+  OpLog log;
+  const Value v1 = enum_value(1, 16);
+  log.append({OpEvent::Kind::kInvoke, NodeId{2}, 1, OpType::kRead, {}, 1});
+  log.append({OpEvent::Kind::kInvoke, NodeId{1}, 2, OpType::kWrite, v1, 2});
+  log.append({OpEvent::Kind::kResponse, NodeId{1}, 2, OpType::kWrite, {}, 3});
+  log.append({OpEvent::Kind::kResponse, NodeId{2}, 1, OpType::kRead, v1, 4});
+  const History h = History::from_oplog(log);
+
+  const auto lin = find_linearization(h, v0);
+  validate_witness(h, lin);
+  const auto pos = [&](std::uint64_t id) {
+    return std::find(lin.order.begin(), lin.order.end(), id) -
+           lin.order.begin();
+  };
+  EXPECT_LT(pos(2), pos(1));  // write before the read that saw it
+}
+
+TEST(Linearization, PendingWriteIncludedOnlyIfObserved) {
+  OpLog log;
+  const Value v1 = enum_value(1, 16);
+  log.append({OpEvent::Kind::kInvoke, NodeId{1}, 1, OpType::kWrite, v1, 1});
+  // never responds
+  log.append({OpEvent::Kind::kInvoke, NodeId{2}, 2, OpType::kRead, {}, 2});
+  log.append({OpEvent::Kind::kResponse, NodeId{2}, 2, OpType::kRead, v1, 3});
+  const History h = History::from_oplog(log);
+  const auto lin = find_linearization(h, v0);
+  validate_witness(h, lin);
+  // The pending write must be in the order (the read observed it).
+  EXPECT_NE(std::find(lin.order.begin(), lin.order.end(), 1u),
+            lin.order.end());
+}
+
+TEST(Linearization, AgreesWithCheckerOnRealExecutions) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    abd::Options opt;
+    opt.n_writers = 2;
+    opt.n_readers = 2;
+    abd::System sys = abd::make_system(opt);
+    workload::Options wopt;
+    wopt.writes_per_writer = 3;
+    wopt.reads_per_reader = 3;
+    wopt.value_size = opt.value_size;
+    wopt.seed = seed;
+    const auto res = workload::run(sys.world, sys.writers, sys.readers, wopt);
+    ASSERT_TRUE(res.completed);
+
+    const Value init = enum_value(0, opt.value_size);
+    const bool atomic = check_atomic(res.history, init).ok;
+    const auto lin = find_linearization(res.history, init);
+    ASSERT_EQ(atomic, lin.exists) << seed;
+    if (lin.exists) {
+      std::map<std::uint64_t, const Operation*> by_id;
+      for (const auto& op : res.history.operations()) by_id[op.op_id] = &op;
+      Value current = init;
+      for (const auto id : lin.order) {
+        const Operation* op = by_id.at(id);
+        if (op->type == OpType::kWrite)
+          current = op->written;
+        else
+          EXPECT_EQ(op->returned, current) << "seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace memu

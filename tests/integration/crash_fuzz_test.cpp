@@ -1,0 +1,161 @@
+// Crash-timing fuzz: up to f servers crash at random points DURING the
+// workload (not just at time zero). Safety must hold in every run; liveness
+// must hold because the total failure count stays within budget.
+#include <gtest/gtest.h>
+
+#include "algo/abd/system.h"
+#include "algo/cas/system.h"
+#include "algo/strip/strip.h"
+#include "consistency/checker.h"
+#include "sim/scheduler.h"
+#include "workload/driver.h"
+
+namespace memu {
+namespace {
+
+// Drives clients like workload::run, but crashes `crash_at[i]` -> server
+// index i at the given delivery count. Returns the history, or nullopt if
+// quotas were not met.
+template <class System>
+std::optional<History> fuzz_run(System& sys, std::size_t writes_per_writer,
+                                std::size_t reads_per_reader,
+                                std::size_t value_size, std::uint64_t seed,
+                                const std::map<std::uint64_t, std::size_t>&
+                                    crash_at) {
+  Scheduler sched(Scheduler::Policy::kRandom, seed);
+  struct Client {
+    bool busy = false;
+    std::size_t issued = 0;
+  };
+  std::map<NodeId, Client> state;
+  for (const NodeId w : sys.writers) state[w] = {};
+  for (const NodeId r : sys.readers) state[r] = {};
+
+  std::size_t cursor = 0;
+  const std::size_t want = sys.writers.size() * writes_per_writer +
+                           sys.readers.size() * reads_per_reader;
+  std::size_t responses = 0;
+
+  for (std::uint64_t step = 0; step < 500000; ++step) {
+    const auto& events = sys.world.oplog().events();
+    for (; cursor < events.size(); ++cursor) {
+      const auto it = state.find(events[cursor].client);
+      if (it == state.end()) continue;
+      if (events[cursor].kind == OpEvent::Kind::kResponse) {
+        it->second.busy = false;
+        ++responses;
+      }
+    }
+    if (responses >= want) return History::from_oplog(sys.world.oplog());
+
+    for (std::size_t i = 0; i < sys.writers.size(); ++i) {
+      Client& c = state[sys.writers[i]];
+      if (c.busy || c.issued >= writes_per_writer) continue;
+      sys.world.invoke(sys.writers[i],
+                       {OpType::kWrite,
+                        unique_value(static_cast<std::uint32_t>(i + 1),
+                                     c.issued + 1, value_size)});
+      c.busy = true;
+      ++c.issued;
+    }
+    for (const NodeId r : sys.readers) {
+      Client& c = state[r];
+      if (c.busy || c.issued >= reads_per_reader) continue;
+      sys.world.invoke(r, {OpType::kRead, {}});
+      c.busy = true;
+      ++c.issued;
+    }
+
+    if (const auto hit = crash_at.find(sched.steps_taken());
+        hit != crash_at.end()) {
+      sys.world.crash(sys.servers[hit->second]);
+    }
+    if (!sched.step(sys.world)) break;
+  }
+  if (responses >= want) return History::from_oplog(sys.world.oplog());
+  return std::nullopt;
+}
+
+TEST(CrashFuzz, AbdSurvivesMidRunCrashes) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    abd::Options opt;
+    opt.n_servers = 7;
+    opt.f = 3;
+    opt.n_writers = 2;
+    opt.n_readers = 2;
+    abd::System sys = abd::make_system(opt);
+
+    Rng rng(seed * 1000 + 7);
+    std::map<std::uint64_t, std::size_t> crash_at;
+    // f distinct servers, crashing at random early/mid/late points.
+    std::set<std::size_t> chosen;
+    while (chosen.size() < opt.f) chosen.insert(rng.next_below(opt.n_servers));
+    std::uint64_t when = 5;
+    for (const std::size_t s : chosen) {
+      crash_at[when] = s;
+      when += 20 + rng.next_below(40);
+    }
+
+    const auto history =
+        fuzz_run(sys, 3, 3, opt.value_size, seed, crash_at);
+    ASSERT_TRUE(history.has_value()) << "seed " << seed << " lost liveness";
+    const auto verdict = check_atomic(*history, enum_value(0, opt.value_size));
+    EXPECT_TRUE(verdict.ok) << "seed " << seed << ": " << verdict.violation;
+  }
+}
+
+TEST(CrashFuzz, CasSurvivesMidRunCrashes) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    cas::Options opt;
+    opt.n_servers = 7;
+    opt.f = 2;
+    opt.k = 3;
+    opt.n_writers = 2;
+    opt.n_readers = 1;
+    cas::System sys = cas::make_system(opt);
+
+    Rng rng(seed * 31 + 5);
+    std::map<std::uint64_t, std::size_t> crash_at;
+    std::set<std::size_t> chosen;
+    while (chosen.size() < opt.f) chosen.insert(rng.next_below(opt.n_servers));
+    std::uint64_t when = 10;
+    for (const std::size_t s : chosen) {
+      crash_at[when] = s;
+      when += 30 + rng.next_below(50);
+    }
+
+    const auto history = fuzz_run(sys, 2, 2, opt.value_size, seed, crash_at);
+    ASSERT_TRUE(history.has_value()) << "seed " << seed;
+    EXPECT_TRUE(check_atomic(*history, enum_value(0, opt.value_size)).ok)
+        << seed;
+  }
+}
+
+TEST(CrashFuzz, StripSurvivesMidRunCrashes) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    strip::Options opt;
+    opt.n_servers = 7;
+    opt.f = 3;
+    opt.n_writers = 2;
+    opt.n_readers = 1;
+    strip::System sys = strip::make_system(opt);
+
+    Rng rng(seed * 77 + 3);
+    std::map<std::uint64_t, std::size_t> crash_at;
+    std::set<std::size_t> chosen;
+    while (chosen.size() < opt.f) chosen.insert(rng.next_below(opt.n_servers));
+    std::uint64_t when = 8;
+    for (const std::size_t s : chosen) {
+      crash_at[when] = s;
+      when += 25 + rng.next_below(60);
+    }
+
+    const auto history = fuzz_run(sys, 2, 2, opt.value_size, seed, crash_at);
+    ASSERT_TRUE(history.has_value()) << "seed " << seed;
+    EXPECT_TRUE(check_atomic(*history, enum_value(0, opt.value_size)).ok)
+        << seed;
+  }
+}
+
+}  // namespace
+}  // namespace memu

@@ -1,0 +1,184 @@
+// Integration tests probing the liveness boundary the paper's theorems are
+// parameterized by: operations must terminate with at most f failures (and,
+// for Theorem 6.5's class, at most nu active writes) — and must stay SAFE
+// even when liveness is forfeited.
+#include <gtest/gtest.h>
+
+#include "algo/abd/system.h"
+#include "algo/cas/system.h"
+#include "algo/ldr/ldr.h"
+#include "consistency/checker.h"
+#include "sim/scheduler.h"
+#include "workload/driver.h"
+
+namespace memu {
+namespace {
+
+TEST(LivenessBoundary, AbdBlocksBeyondFFailuresButStaysSafe) {
+  abd::Options opt;  // N=5, f=2
+  abd::System sys = abd::make_system(opt);
+  // Crash f + 1 = 3 servers: quorums of N - f = 3 are no longer reachable.
+  sys.world.crash(sys.servers[0]);
+  sys.world.crash(sys.servers[1]);
+  sys.world.crash(sys.servers[2]);
+
+  sys.world.invoke(sys.writers[0],
+                   {OpType::kWrite, unique_value(1, 1, opt.value_size)});
+  Scheduler sched;
+  sched.drain(sys.world, 100000);
+  // The write never completes...
+  EXPECT_EQ(sys.world.oplog().responses_since(0), 0u);
+  // ...and nothing unsafe happened: no response means a vacuously safe
+  // history.
+  const History h = History::from_oplog(sys.world.oplog());
+  EXPECT_TRUE(check_atomic(h, enum_value(0, opt.value_size)).ok);
+}
+
+TEST(LivenessBoundary, CasBlocksBeyondFFailures) {
+  cas::Options opt;  // N=5, f=1, quorum=4
+  cas::System sys = cas::make_system(opt);
+  sys.world.crash(sys.servers[0]);
+  sys.world.crash(sys.servers[1]);  // 2 > f
+
+  sys.world.invoke(sys.writers[0],
+                   {OpType::kWrite, unique_value(1, 1, opt.value_size)});
+  Scheduler sched;
+  sched.drain(sys.world, 100000);
+  EXPECT_EQ(sys.world.oplog().responses_since(0), 0u);
+}
+
+TEST(LivenessBoundary, CrashDuringWritePhaseIsTolerated) {
+  // A server crash in the middle of a write (total failures still <= f):
+  // the operation must complete.
+  abd::Options opt;
+  abd::System sys = abd::make_system(opt);
+  Scheduler sched;
+
+  sys.world.invoke(sys.writers[0],
+                   {OpType::kWrite, unique_value(1, 1, opt.value_size)});
+  for (int i = 0; i < 4; ++i) sched.step(sys.world);  // mid-protocol
+  sys.world.crash(sys.servers[2]);
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 100000));
+
+  sys.world.crash(sys.servers[4]);  // second failure, still <= f = 2
+  sys.world.invoke(sys.readers[0], {OpType::kRead, {}});
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 100000));
+  EXPECT_EQ(value_identity(sys.world.oplog().events().back().value).seq, 1u);
+}
+
+TEST(LivenessBoundary, WriterCrashLeavesSystemServiceable) {
+  // A client crash mid-write must not hurt readers (the model requires
+  // correctness under any number of client failures).
+  abd::Options opt;
+  abd::System sys = abd::make_system(opt);
+  Scheduler sched;
+
+  const Value v0 = enum_value(0, opt.value_size);
+  const Value v1 = unique_value(1, 1, opt.value_size);
+  sys.world.invoke(sys.writers[0], {OpType::kWrite, v1});
+  for (int i = 0; i < 6; ++i) sched.step(sys.world);
+  sys.world.crash(sys.writers[0]);
+
+  sys.world.invoke(sys.readers[0], {OpType::kRead, {}});
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 100000));
+  const Value got = sys.world.oplog().events().back().value;
+  // The orphaned write may or may not be visible; both are regular.
+  EXPECT_TRUE(got == v0 || got == v1);
+
+  // And the system remains live for later readers.
+  sys.world.invoke(sys.readers[0], {OpType::kRead, {}});
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 100000));
+}
+
+TEST(LivenessBoundary, CasgcStaysSafeWhenConcurrencyExceedsDelta) {
+  // CASGC with delta = 0 and two interleaved writers: garbage collection
+  // may race reads into restarts, but completed operations stay atomic.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    cas::Options opt;
+    opt.n_writers = 2;
+    opt.n_readers = 1;
+    opt.delta = 0;
+    cas::System sys = cas::make_system(opt);
+
+    workload::Options wopt;
+    wopt.writes_per_writer = 3;
+    wopt.reads_per_reader = 3;
+    wopt.value_size = opt.value_size;
+    wopt.seed = seed;
+    const auto res = workload::run(sys.world, sys.writers, sys.readers, wopt);
+    // Liveness is only promised for concurrency <= delta; completion may
+    // still happen (and does, for these seeds and quotas). Safety always:
+    const auto verdict =
+        check_atomic(res.history, enum_value(0, opt.value_size));
+    EXPECT_TRUE(verdict.ok) << "seed " << seed << ": " << verdict.violation;
+  }
+}
+
+TEST(LivenessBoundary, LdrDirectoryQuorumLiveWithFDirectoryCrashes) {
+  ldr::Options opt;
+  opt.n_servers = 9;  // directories 9, replicas 5, f = 2
+  opt.f = 2;
+  ldr::System sys = ldr::make_system(opt);
+  Scheduler sched;
+  // Crash f pure directories (non-replicas): indices 5..8 are dirs only.
+  sys.world.crash(sys.servers[7]);
+  sys.world.crash(sys.servers[8]);
+
+  sys.world.invoke(sys.writers[0],
+                   {OpType::kWrite, unique_value(1, 1, opt.value_size)});
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 100000));
+  sys.world.invoke(sys.readers[0], {OpType::kRead, {}});
+  ASSERT_TRUE(sched.run_until_responses(sys.world, 1, 100000));
+  EXPECT_EQ(value_identity(sys.world.oplog().events().back().value).seq, 1u);
+}
+
+// Determinism property: two Worlds built identically and driven by
+// identically-seeded schedulers produce identical executions (the bedrock
+// of the adversary harness's injectivity claims).
+TEST(Determinism, IdenticalSeedsIdenticalExecutions) {
+  auto run_one = [](std::uint64_t seed) {
+    abd::Options opt;
+    opt.n_writers = 2;
+    opt.n_readers = 1;
+    abd::System sys = abd::make_system(opt);
+    sys.world.enable_trace();
+    workload::Options wopt;
+    wopt.writes_per_writer = 3;
+    wopt.reads_per_reader = 3;
+    wopt.value_size = opt.value_size;
+    wopt.seed = seed;
+    workload::run(sys.world, sys.writers, sys.readers, wopt);
+    BufWriter w;
+    for (const auto& e : sys.world.trace().events()) {
+      w.u64(e.step);
+      w.u32(e.chan.src.value);
+      w.u32(e.chan.dst.value);
+      w.str(e.type_name);
+    }
+    return std::move(w).take();
+  };
+  EXPECT_EQ(run_one(11), run_one(11));
+  EXPECT_NE(run_one(11), run_one(12));
+}
+
+TEST(Determinism, ClonedWorldEvolvesIdentically) {
+  abd::Options opt;
+  abd::System sys = abd::make_system(opt);
+  sys.world.invoke(sys.writers[0],
+                   {OpType::kWrite, unique_value(1, 1, opt.value_size)});
+  Scheduler s1;
+  for (int i = 0; i < 3; ++i) s1.step(sys.world);
+
+  World copy = sys.world;
+  Scheduler a(Scheduler::Policy::kRandom, 5), b(Scheduler::Policy::kRandom, 5);
+  a.drain(sys.world, 10000);
+  b.drain(copy, 10000);
+
+  for (const NodeId s : sys.servers) {
+    EXPECT_EQ(sys.world.process(s).encode_state(),
+              copy.process(s).encode_state());
+  }
+}
+
+}  // namespace
+}  // namespace memu

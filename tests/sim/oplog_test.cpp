@@ -1,0 +1,58 @@
+#include "sim/oplog.h"
+
+#include <gtest/gtest.h>
+
+#include "registers/value.h"
+
+namespace memu {
+namespace {
+
+OpEvent invoke(std::uint64_t id, OpType t, Value v = {}) {
+  return {OpEvent::Kind::kInvoke, NodeId{1}, id, t, std::move(v), id * 10};
+}
+
+OpEvent response(std::uint64_t id, OpType t, Value v = {}) {
+  return {OpEvent::Kind::kResponse, NodeId{1}, id, t, std::move(v),
+          id * 10 + 5};
+}
+
+TEST(OpLog, StartsEmpty) {
+  OpLog log;
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_FALSE(log.responded(1));
+  EXPECT_EQ(log.responses_since(0), 0u);
+}
+
+TEST(OpLog, RespondedTracksOps) {
+  OpLog log;
+  log.append(invoke(1, OpType::kWrite, enum_value(1, 16)));
+  EXPECT_FALSE(log.responded(1));
+  log.append(response(1, OpType::kWrite));
+  EXPECT_TRUE(log.responded(1));
+  EXPECT_FALSE(log.responded(2));
+}
+
+TEST(OpLog, ResponseValueLookup) {
+  OpLog log;
+  log.append(invoke(1, OpType::kRead));
+  EXPECT_FALSE(log.response_value(1).has_value());
+  log.append(response(1, OpType::kRead, enum_value(7, 16)));
+  ASSERT_TRUE(log.response_value(1).has_value());
+  EXPECT_EQ(*log.response_value(1), enum_value(7, 16));
+}
+
+TEST(OpLog, ResponsesSinceCountsSuffix) {
+  OpLog log;
+  log.append(invoke(1, OpType::kWrite));
+  log.append(response(1, OpType::kWrite));
+  const std::size_t mark = log.size();
+  log.append(invoke(2, OpType::kRead));
+  log.append(response(2, OpType::kRead, enum_value(1, 16)));
+  log.append(invoke(3, OpType::kRead));
+  EXPECT_EQ(log.responses_since(0), 2u);
+  EXPECT_EQ(log.responses_since(mark), 1u);
+  EXPECT_EQ(log.responses_since(log.size()), 0u);
+}
+
+}  // namespace
+}  // namespace memu

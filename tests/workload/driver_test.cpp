@@ -1,0 +1,178 @@
+#include "workload/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/abd/system.h"
+#include "algo/cas/system.h"
+#include "consistency/checker.h"
+#include "workload/park.h"
+
+namespace memu::workload {
+namespace {
+
+TEST(Driver, CompletesQuotasOnAbd) {
+  abd::Options aopt;
+  aopt.n_writers = 2;
+  aopt.n_readers = 2;
+  abd::System sys = abd::make_system(aopt);
+
+  Options opt;
+  opt.writes_per_writer = 3;
+  opt.reads_per_reader = 3;
+  opt.value_size = aopt.value_size;
+  const RunResult res = run(sys.world, sys.writers, sys.readers, opt);
+
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.history.completed_reads().size(), 6u);
+  EXPECT_EQ(res.history.writes().size(), 6u);
+  EXPECT_EQ(res.op_latency_steps.size(), 12u);
+  EXPECT_GT(res.steps, 0u);
+  EXPECT_GT(res.storage.peak_total.value_bits, 0);
+}
+
+TEST(Driver, CompletesQuotasOnCas) {
+  cas::Options copt;
+  copt.n_writers = 2;
+  copt.n_readers = 1;
+  cas::System sys = cas::make_system(copt);
+
+  Options opt;
+  opt.writes_per_writer = 2;
+  opt.reads_per_reader = 4;
+  opt.value_size = copt.value_size;
+  const RunResult res = run(sys.world, sys.writers, sys.readers, opt);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.history.completed_reads().size(), 4u);
+}
+
+TEST(Driver, HistoriesAreAtomicUnderRandomSchedules) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    abd::Options aopt;
+    aopt.n_writers = 2;
+    aopt.n_readers = 2;
+    abd::System sys = abd::make_system(aopt);
+
+    Options opt;
+    opt.writes_per_writer = 3;
+    opt.reads_per_reader = 3;
+    opt.value_size = aopt.value_size;
+    opt.seed = seed;
+    const RunResult res = run(sys.world, sys.writers, sys.readers, opt);
+    ASSERT_TRUE(res.completed) << "seed " << seed;
+    const auto check =
+        check_atomic(res.history, enum_value(0, aopt.value_size));
+    EXPECT_TRUE(check.ok) << "seed " << seed << ": " << check.violation;
+  }
+}
+
+TEST(Driver, CasHistoriesAreAtomicUnderRandomSchedules) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    cas::Options copt;
+    copt.n_writers = 2;
+    copt.n_readers = 2;
+    cas::System sys = cas::make_system(copt);
+
+    Options opt;
+    opt.writes_per_writer = 2;
+    opt.reads_per_reader = 2;
+    opt.value_size = copt.value_size;
+    opt.seed = seed;
+    const RunResult res = run(sys.world, sys.writers, sys.readers, opt);
+    ASSERT_TRUE(res.completed) << "seed " << seed;
+    const auto check =
+        check_atomic(res.history, enum_value(0, copt.value_size));
+    EXPECT_TRUE(check.ok) << "seed " << seed << ": " << check.violation;
+  }
+}
+
+TEST(Driver, AbdStorageFlatInConcurrency) {
+  for (const std::size_t nu : {1u, 3u, 5u}) {
+    abd::Options aopt;
+    aopt.n_writers = nu;
+    aopt.n_readers = 0;
+    abd::System sys = abd::make_system(aopt);
+
+    Options opt;
+    opt.writes_per_writer = 2;
+    opt.reads_per_reader = 0;
+    opt.value_size = aopt.value_size;
+    const RunResult res = run(sys.world, sys.writers, sys.readers, opt);
+    ASSERT_TRUE(res.completed);
+    // Peak value storage = N full values, independent of nu.
+    EXPECT_DOUBLE_EQ(res.storage.peak_total.value_bits,
+                     static_cast<double>(aopt.n_servers) * 8 *
+                         static_cast<double>(aopt.value_size))
+        << "nu=" << nu;
+  }
+}
+
+TEST(Park, CasStorageScalesWithParkedWrites) {
+  const std::size_t value_size = 60;
+  const double shard_bits = 8.0 * 60 / 3;
+  for (const std::size_t nu : {1u, 2u, 3u}) {
+    cas::Options copt;
+    copt.n_servers = 5;
+    copt.f = 1;
+    copt.k = 3;
+    copt.n_writers = nu;
+    copt.value_size = value_size;
+    cas::System sys = cas::make_system(copt);
+    const StorageReport rep = park_active_writes(sys, nu, value_size);
+    // v0 + nu parked versions on each of 5 servers.
+    EXPECT_DOUBLE_EQ(rep.peak_total.value_bits,
+                     5.0 * shard_bits * static_cast<double>(nu + 1))
+        << "nu=" << nu;
+  }
+}
+
+TEST(Park, AbdStorageFlatWithParkedWrites) {
+  const std::size_t value_size = 64;
+  for (const std::size_t nu : {1u, 2u, 4u}) {
+    abd::Options aopt;
+    aopt.n_writers = nu;
+    aopt.value_size = value_size;
+    abd::System sys = abd::make_system(aopt);
+    const StorageReport rep = park_active_writes(sys, nu, value_size);
+    EXPECT_DOUBLE_EQ(rep.peak_total.value_bits,
+                     static_cast<double>(aopt.n_servers) * 8 *
+                         static_cast<double>(value_size))
+        << "nu=" << nu;
+  }
+}
+
+TEST(Park, ParkedWritesRemainActive) {
+  cas::Options copt;
+  copt.n_writers = 2;
+  cas::System sys = cas::make_system(copt);
+  park_active_writes(sys, 2, copt.value_size);
+  // No write responses: both operations are still active.
+  EXPECT_EQ(sys.world.oplog().responses_since(0), 0u);
+}
+
+TEST(Park, RequiresEnoughWriters) {
+  cas::Options copt;
+  copt.n_writers = 1;
+  cas::System sys = cas::make_system(copt);
+  EXPECT_THROW(park_active_writes(sys, 2, copt.value_size), ContractError);
+}
+
+TEST(Driver, LatenciesAreReasonable) {
+  abd::Options aopt;
+  abd::System sys = abd::make_system(aopt);
+  Options opt;
+  opt.writes_per_writer = 4;
+  opt.reads_per_reader = 4;
+  opt.value_size = aopt.value_size;
+  opt.policy = Scheduler::Policy::kRoundRobin;
+  const RunResult res = run(sys.world, sys.writers, sys.readers, opt);
+  ASSERT_TRUE(res.completed);
+  for (const auto lat : res.op_latency_steps) {
+    // Every op needs at least quorum deliveries and at most a few round
+    // trips to all servers interleaved with the other client.
+    EXPECT_GE(lat, aopt.n_servers - aopt.f);
+    EXPECT_LE(lat, 20 * aopt.n_servers);
+  }
+}
+
+}  // namespace
+}  // namespace memu::workload
