@@ -1,0 +1,96 @@
+// Machine-readable bench output: every console bench also writes a
+// BENCH_<name>.json next to its working directory, so CI and plotting
+// scripts consume structured results instead of scraping stdout.
+//
+// Deliberately tiny: an ordered key -> value JSON object builder with
+// nested-object/array support, no external dependencies.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace memu::benchjson {
+
+// A JSON value rendered eagerly into text.
+class Json {
+ public:
+  static Json object() { return Json("{", "}"); }
+  static Json array() { return Json("[", "]"); }
+
+  // Object members.
+  Json& set(const std::string& key, const std::string& v) {
+    return raw_member(key, quote(v));
+  }
+  Json& set(const std::string& key, const char* v) {
+    return raw_member(key, quote(v));
+  }
+  Json& set(const std::string& key, bool v) {
+    return raw_member(key, v ? "true" : "false");
+  }
+  template <class T>
+  Json& set(const std::string& key, T v) {
+    std::ostringstream os;
+    os << v;
+    return raw_member(key, os.str());
+  }
+  Json& set(const std::string& key, const Json& v) {
+    return raw_member(key, v.render());
+  }
+
+  // Array elements.
+  Json& push(const Json& v) { return raw_element(v.render()); }
+  template <class T>
+  Json& push(T v) {
+    std::ostringstream os;
+    os << v;
+    return raw_element(os.str());
+  }
+
+  std::string render() const { return open_ + body_ + close_; }
+
+ private:
+  Json(std::string open, std::string close)
+      : open_(std::move(open)), close_(std::move(close)) {}
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  Json& raw_member(const std::string& key, const std::string& rendered) {
+    if (!body_.empty()) body_ += ",";
+    body_ += quote(key) + ":" + rendered;
+    return *this;
+  }
+
+  Json& raw_element(const std::string& rendered) {
+    if (!body_.empty()) body_ += ",";
+    body_ += rendered;
+    return *this;
+  }
+
+  std::string open_, close_, body_;
+};
+
+// Writes BENCH_<name>.json in the current working directory.
+inline void write(const std::string& name, const Json& root) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  out << root.render() << "\n";
+  std::cout << "[bench-json] wrote " << path << "\n";
+}
+
+}  // namespace memu::benchjson

@@ -165,6 +165,47 @@ void BM_ExploreSmallAbd(benchmark::State& state) {
 }
 BENCHMARK(BM_ExploreSmallAbd);
 
+// The same small-ABD exploration through the engine's work-queue frontier
+// with N worker threads: measures the parallel engine's overhead/scaling.
+void BM_ExploreParallelAbd(benchmark::State& state) {
+  memu::abd::Options opt;
+  opt.n_servers = 3;
+  opt.f = 1;
+  opt.single_writer = true;
+  opt.value_size = 12;
+  for (auto _ : state) {
+    memu::abd::System sys = memu::abd::make_system(opt);
+    sys.world.invoke(sys.writers[0],
+                     {memu::OpType::kWrite, memu::unique_value(1, 1, 12)});
+    memu::ExploreOptions eopt;
+    eopt.threads = static_cast<std::size_t>(state.range(0));
+    const auto res = memu::explore(sys.world, eopt, {}, {});
+    if (!res.complete) state.SkipWithError("exploration incomplete");
+    state.counters["states"] = static_cast<double>(res.states_visited);
+  }
+}
+BENCHMARK(BM_ExploreParallelAbd)->Arg(1)->Arg(2)->Arg(8);
+
+// Fingerprint (8 B/state) vs exact (full canonical encoding) dedupe cost.
+void BM_ExploreDedupeMode(benchmark::State& state) {
+  memu::abd::Options opt;
+  opt.n_servers = 3;
+  opt.f = 1;
+  opt.single_writer = true;
+  opt.value_size = 12;
+  for (auto _ : state) {
+    memu::abd::System sys = memu::abd::make_system(opt);
+    sys.world.invoke(sys.writers[0],
+                     {memu::OpType::kWrite, memu::unique_value(1, 1, 12)});
+    memu::ExploreOptions eopt;
+    eopt.exact_dedupe = state.range(0) != 0;
+    const auto res = memu::explore(sys.world, eopt, {}, {});
+    if (!res.complete) state.SkipWithError("exploration incomplete");
+    state.counters["visited_bytes"] = static_cast<double>(res.dedupe_bytes);
+  }
+}
+BENCHMARK(BM_ExploreDedupeMode)->Arg(0)->Arg(1);
+
 }  // namespace
 
 BENCHMARK_MAIN();

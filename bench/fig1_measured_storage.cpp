@@ -20,6 +20,7 @@
 #include "algo/cas/system.h"
 #include "algo/ldr/ldr.h"
 #include "algo/strip/strip.h"
+#include "bench_json.h"
 #include "bounds/bounds.h"
 #include "common/table.h"
 #include "sim/scheduler.h"
@@ -27,6 +28,8 @@
 #include "workload/park.h"
 
 namespace {
+
+memu::benchjson::Json g_rows = memu::benchjson::Json::array();
 
 constexpr std::size_t kValueSize = 120;  // bytes; B = 960 bits
 constexpr double kB = 8.0 * kValueSize;
@@ -66,14 +69,27 @@ void run_config(std::size_t n, std::size_t f, std::size_t nu_max) {
                 12);
   const Params p{n, f, kB};
   for (std::size_t nu = 1; nu <= nu_max; ++nu) {
+    const double abd_meas = measured_abd(n, f, nu);
+    const double cas_meas = measured_cas(n, f, k, nu, std::nullopt);
+    const double casgc_meas = measured_cas(n, f, k, nu, std::size_t{nu});
     t.row()
         .cell(nu)
-        .cell(measured_abd(n, f, nu))
-        .cell(measured_cas(n, f, k, nu, std::nullopt))
-        .cell(measured_cas(n, f, k, nu, std::size_t{nu}))
+        .cell(abd_meas)
+        .cell(cas_meas)
+        .cell(casgc_meas)
         .cell(cas_total(p, nu, k) / kB)
         .cell(erasure_normalized(n, f, nu))
         .cell(restricted_normalized(n, f, nu));
+    g_rows.push(memu::benchjson::Json::object()
+                    .set("n", n)
+                    .set("f", f)
+                    .set("nu", nu)
+                    .set("abd_measured", abd_meas)
+                    .set("cas_measured", cas_meas)
+                    .set("casgc_measured", casgc_meas)
+                    .set("cas_model", cas_total(p, nu, k) / kB)
+                    .set("erasure_ub", erasure_normalized(n, f, nu))
+                    .set("thm65_lb", restricted_normalized(n, f, nu)));
   }
   t.print();
   std::cout << '\n';
@@ -186,5 +202,10 @@ int main() {
          "the small excess over N/(N-f) is shard padding ceil(B/8k) and, "
          "at nu active writes, it pays full values (see the parked tables "
          "above for CAS's opposite tradeoff).\n";
+  memu::benchjson::write("fig1_measured_storage",
+                         memu::benchjson::Json::object()
+                             .set("bench", "fig1_measured_storage")
+                             .set("value_bits", kB)
+                             .set("rows", g_rows));
   return 0;
 }

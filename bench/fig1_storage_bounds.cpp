@@ -10,6 +10,7 @@
 // o(log|V|) corrections.
 #include <iostream>
 
+#include "bench_json.h"
 #include "bounds/bounds.h"
 #include "common/table.h"
 
@@ -87,5 +88,23 @@ int main() {
   std::cout << "\nEvery replication-based server stores a full value "
                "(max = B >= all of the above); CAS's per-server peak is "
                "(nu+1)B/k.\n";
+
+  benchjson::Json series = benchjson::Json::array();
+  for (const auto& r : figure1_series(kN, kF, kNuMax)) {
+    series.push(benchjson::Json::object()
+                    .set("nu", r.nu)
+                    .set("thm_b1", r.thm_b1)
+                    .set("thm_41", r.thm_41)
+                    .set("thm_51", r.thm_51)
+                    .set("thm_65", r.thm_65)
+                    .set("abd", r.abd)
+                    .set("erasure", r.erasure));
+  }
+  benchjson::write("fig1_storage_bounds",
+                   benchjson::Json::object()
+                       .set("bench", "fig1_storage_bounds")
+                       .set("n", kN)
+                       .set("f", kF)
+                       .set("series", series));
   return 0;
 }

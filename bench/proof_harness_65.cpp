@@ -12,8 +12,11 @@
 #include <iostream>
 
 #include "adversary/theorem65.h"
+#include "bench_json.h"
 
 namespace {
+
+memu::benchjson::Json g_cases = memu::benchjson::Json::array();
 
 void run_case(const std::string& name,
               const memu::adversary::MwSutFactory& factory,
@@ -31,6 +34,18 @@ void run_case(const std::string& name,
             << r.tuples
             << (r.single_point_injective ? "  INJECTIVE" : "  not injective")
             << '\n';
+  g_cases.push(memu::benchjson::Json::object()
+                   .set("case", name)
+                   .set("nu", r.nu)
+                   .set("tuples", r.tuples)
+                   .set("span", r.live_servers)
+                   .set("all_parked", r.all_parked)
+                   .set("all_completed", r.all_completed)
+                   .set("a_monotone", r.a_monotone)
+                   .set("multi_point_distinct", r.distinct)
+                   .set("multi_point_injective", r.injective)
+                   .set("single_point_distinct", r.single_point_distinct)
+                   .set("single_point_injective", r.single_point_injective));
 }
 
 }  // namespace
@@ -76,5 +91,9 @@ int main() {
       << "    (servers accrete coded elements); ABD requires the\n"
       << "    multi-point variant because its servers overwrite — the\n"
       << "    final state forgets all but the tag-dominant value.\n";
+  memu::benchjson::write("proof_harness_65",
+                         memu::benchjson::Json::object()
+                             .set("bench", "proof_harness_65")
+                             .set("cases", g_cases));
   return 0;
 }

@@ -10,9 +10,12 @@
 #include <iostream>
 
 #include "adversary/harness.h"
+#include "bench_json.h"
 #include "common/table.h"
 
 namespace {
+
+memu::benchjson::Json g_cases = memu::benchjson::Json::array();
 
 void run_case(const std::string& name, const memu::adversary::SutFactory& f,
               std::size_t domain) {
@@ -20,13 +23,21 @@ void run_case(const std::string& name, const memu::adversary::SutFactory& f,
   double sum_log = 0;
   for (const auto d : rep.per_server_distinct)
     sum_log += std::log2(static_cast<double>(d));
+  const bool holds = sum_log + 1e-9 >= rep.bound_log2;
   std::cout << "  " << name << ": |V|=" << rep.domain
             << "  injective=" << (rep.injective ? "yes" : "NO")
             << "  probes_ok=" << (rep.probes_consistent ? "yes" : "NO")
             << "  sum_i log2(observed |S_i|) = " << sum_log
             << " >= log2|V| = " << rep.bound_log2
-            << (sum_log + 1e-9 >= rep.bound_log2 ? "  HOLDS" : "  VIOLATED")
-            << '\n';
+            << (holds ? "  HOLDS" : "  VIOLATED") << '\n';
+  g_cases.push(memu::benchjson::Json::object()
+                   .set("case", name)
+                   .set("domain", rep.domain)
+                   .set("injective", rep.injective)
+                   .set("probes_consistent", rep.probes_consistent)
+                   .set("sum_log2_states", sum_log)
+                   .set("bound_log2", rep.bound_log2)
+                   .set("holds", holds));
 }
 
 }  // namespace
@@ -47,5 +58,10 @@ int main() {
   run_case("STRIP N=5 f=2        ", strip_sut_factory(5, 2, 16), 16);
   std::cout << "\nEvery injection confirms the counting step of the "
                "Singleton bound on the emulated algorithms.\n";
+  memu::benchjson::write(
+      "proof_harness_b1",
+      memu::benchjson::Json::object()
+          .set("bench", "proof_harness_b1")
+          .set("cases", g_cases));
   return 0;
 }

@@ -5,7 +5,8 @@
 #include <set>
 
 #include "common/check.h"
-#include "sim/scheduler.h"
+#include "engine/driver.h"
+#include "engine/scheduler.h"
 
 namespace memu::adversary {
 
@@ -32,17 +33,15 @@ void crash_subset(Sut& sut, const std::vector<std::size_t>& crash_indices) {
   }
 }
 
-// Runs a complete write of `v` and quiesces all channels.
+// Runs a complete write of `v` and quiesces all channels. The stepping and
+// run loops come from the engine's common driver interface; the proofs'
+// canonical fair schedule is the round-robin Scheduler.
 bool write_and_quiesce(Sut& sut, const Value& v) {
-  const std::size_t base = sut.world.oplog().size();
   sut.world.invoke(sut.writer, Invocation{OpType::kWrite, v});
   Scheduler sched;
-  if (!sched.run_until(
-          sut.world,
-          [base](const World& w) { return w.oplog().responses_since(base) >= 1; },
-          kRunCap))
-    return false;
-  return sched.drain(sut.world, kRunCap);
+  engine::ExecutionDriver& driver = sched;
+  if (!driver.run_until_responses(sut.world, 1, kRunCap)) return false;
+  return driver.drain(sut.world, kRunCap);
 }
 
 // Per-live-server canonical states, keyed by node id.
@@ -127,7 +126,8 @@ CriticalPointInfo find_critical_pair(
 
   sut.world.invoke(sut.writer, Invocation{OpType::kWrite, v2});
 
-  Scheduler exec;
+  Scheduler sched;
+  engine::ExecutionDriver& exec = sched;
   World prev = sut.world;  // snapshot of the current (1-valent) point
   for (std::uint64_t steps = 0; steps < kRunCap; ++steps) {
     if (!exec.step(sut.world)) {

@@ -1,9 +1,9 @@
 #include "adversary/valency.h"
 
 #include <string>
-#include <unordered_set>
 
-#include "sim/scheduler.h"
+#include "engine/scheduler.h"
+#include "engine/visited.h"
 
 namespace memu::adversary {
 
@@ -14,11 +14,14 @@ namespace {
 class ValencyExplorer {
  public:
   ValencyExplorer(std::size_t base_events, std::size_t max_states)
-      : base_events_(base_events), max_states_(max_states) {}
+      : base_events_(base_events),
+        max_states_(max_states),
+        // Exact dedupe: this probe is the ground truth the deterministic
+        // probe is validated against, so no fingerprint-collision risk.
+        visited_({/*exact=*/true, /*shards=*/1}) {}
 
   void walk(const World& w) {
-    const Bytes key = w.canonical_encoding();
-    if (!visited_.insert(std::string(key.begin(), key.end())).second) return;
+    if (!visited_.insert(w.canonical_encoding())) return;
     MEMU_CHECK_MSG(visited_.size() <= max_states_,
                    "exact valency probe exceeded its state budget");
 
@@ -45,7 +48,7 @@ class ValencyExplorer {
  private:
   std::size_t base_events_;
   std::size_t max_states_;
-  std::unordered_set<std::string> visited_;
+  engine::VisitedSet visited_;
   std::set<Value> values_;
 };
 

@@ -1,6 +1,11 @@
 // FNV-1a 64-bit hash, used by the hash-announce write phase (modeling the
 // client-verification hashes of the Byzantine-tolerant algorithms in the
 // paper's references [2, 15]): o(log|V|) bits of value-dependent metadata.
+//
+// Also provides the 64-bit state fingerprint the exploration engine
+// deduplicates on: FNV-1a with a splitmix64 finalizer, so low-entropy
+// single-byte differences in canonical encodings diffuse across all 64
+// output bits before the fingerprint is truncated into hash-table shards.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +20,21 @@ inline std::uint64_t fnv1a64(std::span<const std::uint8_t> data) {
     h *= 0x100000001b3ull;
   }
   return h;
+}
+
+// splitmix64 finalizer: a bijective mixer with full avalanche.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+// State fingerprint for visited-set deduplication (see engine/visited.h).
+inline std::uint64_t fingerprint64(std::span<const std::uint8_t> data) {
+  return mix64(fnv1a64(data) ^ (0x9e3779b97f4a7c15ull + data.size()));
 }
 
 }  // namespace memu

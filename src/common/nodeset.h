@@ -1,0 +1,81 @@
+// NodeSet: a flat bitset keyed by NodeId.
+//
+// The World's crash/freeze/value-block/bulk-block sets live on the hot path
+// of every deliverability query and every World deep copy. Node ids are
+// dense (assigned from 0), so a word-array bitset replaces std::set's
+// node-based tree: contains() is a shift and a mask, copying is a memcpy of
+// a few words, and iteration (needed by the canonical encoding) walks set
+// bits in ascending id order via countr_zero.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace memu {
+
+class NodeSet {
+ public:
+  bool contains(NodeId id) const {
+    const std::size_t w = id.value >> 6;
+    return w < words_.size() && ((words_[w] >> (id.value & 63)) & 1u) != 0;
+  }
+
+  void insert(NodeId id) {
+    MEMU_CHECK(id.valid());
+    const std::size_t w = id.value >> 6;
+    if (w >= words_.size()) words_.resize(w + 1, 0);
+    const std::uint64_t bit = std::uint64_t{1} << (id.value & 63);
+    if ((words_[w] & bit) == 0) {
+      words_[w] |= bit;
+      ++count_;
+    }
+  }
+
+  void erase(NodeId id) {
+    const std::size_t w = id.value >> 6;
+    if (w >= words_.size()) return;
+    const std::uint64_t bit = std::uint64_t{1} << (id.value & 63);
+    if ((words_[w] & bit) != 0) {
+      words_[w] &= ~bit;
+      --count_;
+    }
+  }
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Visits members in ascending id order (the canonical-encoding order,
+  // matching what sorted-set iteration produced).
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        fn(NodeId{static_cast<std::uint32_t>(w * 64 + static_cast<std::size_t>(b))});
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const NodeSet& a, const NodeSet& b) {
+    const std::size_t n = std::max(a.words_.size(), b.words_.size());
+    if (a.count_ != b.count_) return false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t wa = i < a.words_.size() ? a.words_[i] : 0;
+      const std::uint64_t wb = i < b.words_.size() ? b.words_[i] : 0;
+      if (wa != wb) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace memu

@@ -1,0 +1,68 @@
+// ExecutionDriver: the engine layer's common stepping interface.
+//
+// Everything that advances a World — the fair schedulers, scripted
+// counterexample replay, and the adversary harness constructions — shares
+// the same needs: deliver one message at a time, run until a predicate or
+// quiescence, count steps, and (optionally) observe storage peaks along the
+// way. ExecutionDriver centralizes those loops and the storage metering so
+// a driver only implements step(): which message to deliver next.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/world.h"
+#include "storage/meter.h"
+
+namespace memu::engine {
+
+class ExecutionDriver {
+ public:
+  virtual ~ExecutionDriver() = default;
+
+  // Delivers at most one message. Returns false when the driver cannot take
+  // a step (quiescence, fully blocked channels, or an exhausted script).
+  virtual bool step(World& world) = 0;
+
+  // Steps until `pred(world)` holds, `max_steps` deliveries happen, or
+  // step() returns false. Returns true iff the predicate was satisfied.
+  bool run_until(World& world, const std::function<bool(const World&)>& pred,
+                 std::uint64_t max_steps);
+
+  // Steps until the driver can take no further step or `max_steps`
+  // deliveries happen. Returns true iff the world has no deliverable
+  // message afterwards (quiescence).
+  bool drain(World& world, std::uint64_t max_steps);
+
+  // Steps until `n` more operation responses appear in the oplog.
+  bool run_until_responses(World& world, std::size_t n,
+                           std::uint64_t max_steps);
+
+  std::uint64_t steps_taken() const { return steps_taken_; }
+
+  // --- storage metering -----------------------------------------------------
+  // Off by default. When enabled, the driver samples TotalStorage /
+  // MaxStorage after every delivered message (the paper's supremum-over-
+  // points measures); observe() seeds the meter with the pre-run state.
+
+  void enable_metering() { metering_ = true; }
+  bool metering_enabled() const { return metering_; }
+  void observe(const World& world) {
+    if (metering_) meter_.observe(world);
+  }
+  const StorageReport& storage_report() const { return meter_.report(); }
+
+ protected:
+  // Subclasses call this after every delivered message.
+  void note_step(const World& world) {
+    ++steps_taken_;
+    if (metering_) meter_.observe(world);
+  }
+
+ private:
+  std::uint64_t steps_taken_ = 0;
+  bool metering_ = false;
+  StorageMeter meter_;
+};
+
+}  // namespace memu::engine

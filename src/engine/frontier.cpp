@@ -1,0 +1,245 @@
+#include "engine/frontier.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "engine/visited.h"
+
+namespace memu::engine {
+
+namespace {
+
+// A frontier entry: a materialized state plus the delivery path that
+// produced it (the replayable counterexample prefix).
+struct Node {
+  World world;
+  std::vector<ExploreStep> path;
+};
+
+class Search {
+ public:
+  Search(const ExploreOptions& opt, const StateCheck& invariant,
+         const StateCheck& terminal)
+      : opt_(opt),
+        invariant_(invariant),
+        terminal_(terminal),
+        visited_({opt.exact_dedupe, shard_count(opt)}) {}
+
+  ExploreResult run(const World& initial) {
+    frontier_.push_back(Node{initial, {}});
+    if (opt_.threads <= 1) {
+      run_sequential();
+    } else {
+      run_parallel();
+    }
+
+    ExploreResult result;
+    result.states_visited = states_visited_.load();
+    result.terminal_states = terminal_states_.load();
+    result.transitions = transitions_.load();
+    result.deduped = deduped_.load();
+    result.truncated = truncated_.load();
+    result.dedupe_bytes = opt_.dedupe ? visited_.memory_bytes() : 0;
+    result.complete = complete_.load() && !aborted_.load();
+    {
+      std::lock_guard<std::mutex> lock(violation_mu_);
+      result.ok = ok_;
+      result.violation = violation_;
+      result.violation_path = violation_path_;
+    }
+    return result;
+  }
+
+ private:
+  static std::size_t shard_count(const ExploreOptions& opt) {
+    if (opt.dedupe_shards != 0) return opt.dedupe_shards;
+    return opt.threads > 1 ? 64 : 1;
+  }
+
+  void record_violation(const std::string& why,
+                        const std::vector<ExploreStep>& path) {
+    std::lock_guard<std::mutex> lock(violation_mu_);
+    if (ok_) {
+      ok_ = false;
+      violation_ = why;
+      violation_path_ = path;
+    }
+    if (opt_.stop_at_first_violation) aborted_.store(true);
+  }
+
+  // Visits one frontier node: dedupe, bounds, invariant, terminal, and
+  // child generation. Children are passed to `emit` in deterministic
+  // (channel, index) order; the caller decides where they go.
+  template <class Emit>
+  void visit(const Node& node, Emit&& emit) {
+    // Entry bookkeeping. The recursive DFS incremented `transitions` once
+    // per child call; counting at entry (non-root nodes only) yields the
+    // same totals in the same order, including under aborts.
+    if (!node.path.empty()) transitions_.fetch_add(1);
+
+    if (opt_.dedupe) {
+      const Bytes key = node.world.canonical_encoding();
+      if (visited_.contains(key)) {
+        deduped_.fetch_add(1);
+        return;
+      }
+      if (states_visited_.load() >= opt_.max_states) {
+        // Expansion budget exhausted: do NOT insert into the visited set —
+        // this state was never expanded, so a later re-encounter must not
+        // count as a dedupe merge (and could legitimately be expanded by a
+        // re-run with a larger budget).
+        complete_.store(false);
+        truncated_.fetch_add(1);
+        return;
+      }
+      if (!visited_.insert(key)) {  // lost an insert race to a peer worker
+        deduped_.fetch_add(1);
+        return;
+      }
+    } else if (states_visited_.load() >= opt_.max_states) {
+      complete_.store(false);
+      truncated_.fetch_add(1);
+      return;
+    }
+    states_visited_.fetch_add(1);
+
+    if (invariant_) {
+      if (const auto why = invariant_(node.world); why.has_value()) {
+        record_violation("invariant: " + *why, node.path);
+        if (aborted_.load()) return;
+      }
+    }
+
+    const std::vector<ChannelId> chans = node.world.deliverable_channels();
+    if (chans.empty()) {
+      terminal_states_.fetch_add(1);
+      if (terminal_) {
+        if (const auto why = terminal_(node.world); why.has_value())
+          record_violation("terminal: " + *why, node.path);
+      }
+      return;
+    }
+    if (node.path.size() >= opt_.max_depth) {
+      complete_.store(false);
+      return;
+    }
+
+    for (const ChannelId chan : chans) {
+      if (!opt_.reorder) {
+        // First allowed index (may be > 0 under value/bulk blocks).
+        const std::size_t index = node.world.first_deliverable_index(chan);
+        MEMU_CHECK(index != kNoIndex);
+        emit(make_child(node, chan, index));
+        continue;
+      }
+      // Non-FIFO: branch over every deliverable position. Redundant
+      // branches (identical payloads whose deliveries lead to identical
+      // states) merge in the visited set — payload-level merging here
+      // would be unsound for non-adjacent duplicates, whose remaining
+      // queue orders differ.
+      for (const std::size_t index : node.world.deliverable_indices(chan)) {
+        emit(make_child(node, chan, index));
+      }
+    }
+  }
+
+  static Node make_child(const Node& node, ChannelId chan, std::size_t index) {
+    Node child{node.world, node.path};  // deep copy
+    child.world.deliver(chan, index);
+    child.path.push_back({chan, index});
+    return child;
+  }
+
+  // Sequential mode: LIFO frontier, children pushed in reverse generation
+  // order, so pops happen in exactly the recursive-DFS entry order — every
+  // counter and the first counterexample match the seed explorer.
+  void run_sequential() {
+    std::vector<Node> children;
+    while (!frontier_.empty() && !aborted_.load()) {
+      const Node node = std::move(frontier_.back());
+      frontier_.pop_back();
+      children.clear();
+      visit(node, [&](Node&& child) { children.push_back(std::move(child)); });
+      for (auto it = children.rbegin(); it != children.rend(); ++it)
+        frontier_.push_back(std::move(*it));
+    }
+  }
+
+  // Parallel mode: a shared LIFO drained by a worker pool. `active_` counts
+  // in-flight visits so workers distinguish "frontier momentarily empty"
+  // from "search exhausted".
+  void run_parallel() {
+    std::vector<std::thread> workers;
+    workers.reserve(opt_.threads);
+    for (std::size_t i = 0; i < opt_.threads; ++i)
+      workers.emplace_back([this] { worker(); });
+    for (auto& w : workers) w.join();
+  }
+
+  void worker() {
+    std::unique_lock<std::mutex> lock(frontier_mu_);
+    for (;;) {
+      frontier_cv_.wait(lock, [this] {
+        return aborted_.load() || !frontier_.empty() || active_ == 0;
+      });
+      if (aborted_.load() || (frontier_.empty() && active_ == 0)) {
+        frontier_cv_.notify_all();
+        return;
+      }
+      if (frontier_.empty()) continue;  // raced with another worker
+
+      const Node node = std::move(frontier_.back());
+      frontier_.pop_back();
+      ++active_;
+      lock.unlock();
+
+      std::vector<Node> children;
+      visit(node, [&](Node&& child) { children.push_back(std::move(child)); });
+
+      lock.lock();
+      --active_;
+      for (auto it = children.rbegin(); it != children.rend(); ++it)
+        frontier_.push_back(std::move(*it));
+      if (!children.empty() || frontier_.empty() || aborted_.load())
+        frontier_cv_.notify_all();
+    }
+  }
+
+  const ExploreOptions& opt_;
+  const StateCheck& invariant_;
+  const StateCheck& terminal_;
+  VisitedSet visited_;
+
+  std::vector<Node> frontier_;
+  std::mutex frontier_mu_;
+  std::condition_variable frontier_cv_;
+  std::size_t active_ = 0;  // nodes being visited (guarded by frontier_mu_)
+
+  std::atomic<std::size_t> states_visited_{0};
+  std::atomic<std::size_t> terminal_states_{0};
+  std::atomic<std::size_t> transitions_{0};
+  std::atomic<std::size_t> deduped_{0};
+  std::atomic<std::size_t> truncated_{0};
+  std::atomic<bool> complete_{true};
+  std::atomic<bool> aborted_{false};
+
+  std::mutex violation_mu_;
+  bool ok_ = true;
+  std::string violation_;
+  std::vector<ExploreStep> violation_path_;
+};
+
+}  // namespace
+
+ExploreResult frontier_search(const World& initial, const ExploreOptions& opt,
+                              const StateCheck& invariant,
+                              const StateCheck& terminal) {
+  Search search(opt, invariant, terminal);
+  return search.run(initial);
+}
+
+}  // namespace memu::engine

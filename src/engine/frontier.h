@@ -1,0 +1,87 @@
+// Frontier-based exhaustive exploration: the engine behind explore().
+//
+// The original explorer was a recursive single-threaded DFS. The engine
+// replaces it with an iterative work-queue search over explicit frontier
+// nodes {World, path}: a LIFO frontier in sequential mode, which reproduces
+// the recursive DFS visit order (and therefore every counter and the first
+// counterexample) exactly, and a shared work queue drained by a thread pool
+// in parallel mode. Deduplication runs through engine::VisitedSet — 64-bit
+// fingerprints by default, full encodings in opt-in exact mode.
+//
+// Parallel-mode guarantees: on a run that completes within its bounds with
+// no violation, states_visited, terminal_states, transitions, deduped, and
+// ok are identical to the sequential result regardless of thread count or
+// interleaving (every generated node is popped exactly once; dedupe is
+// atomic per state). What MAY differ under parallelism: which violation is
+// reported first, and the exact cut point when max_states truncates the
+// search. Invariant and terminal callbacks run concurrently when
+// threads > 1 and must be thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/world.h"
+
+namespace memu {
+
+struct ExploreOptions {
+  std::size_t max_depth = 200;       // deliveries along one path
+  std::size_t max_states = 500'000;  // distinct states to expand
+  bool dedupe = true;                // canonical-state memoization
+  bool stop_at_first_violation = true;
+  // Branch over every in-channel position too (the paper's channels are
+  // not FIFO). Branches that lead to identical states (e.g. delivering
+  // either of two adjacent identical payloads) merge in the visited set.
+  bool reorder = false;
+
+  // --- engine knobs ---------------------------------------------------------
+  // Worker threads; 1 = sequential (DFS-order identical to the seed
+  // explorer). With more threads the frontier is drained concurrently.
+  std::size_t threads = 1;
+  // Store full canonical encodings in the visited set instead of 64-bit
+  // fingerprints (collision-paranoid mode; ~encoding-length x the memory).
+  bool exact_dedupe = false;
+  // Visited-set shards; 0 = auto (1 sequential, 64 parallel).
+  std::size_t dedupe_shards = 0;
+};
+
+// One delivery along an exploration path.
+struct ExploreStep {
+  ChannelId chan;
+  std::size_t index = 0;
+};
+
+struct ExploreResult {
+  std::size_t states_visited = 0;   // distinct states expanded
+  std::size_t terminal_states = 0;  // quiescent states reached
+  std::size_t transitions = 0;      // deliveries executed
+  std::size_t deduped = 0;          // revisits merged away
+  std::size_t truncated = 0;        // expansions rejected by max_states
+  std::size_t dedupe_bytes = 0;     // key bytes retained by the visited set
+  bool complete = false;  // the whole space fit within the bounds
+  bool ok = true;         // no invariant/terminal violation found
+  std::string violation;  // description of the first violation
+  // The delivery sequence from the initial state to the first violating
+  // state — a replayable counterexample (apply World::deliver(chan, index)
+  // in order, or engine::replay()).
+  std::vector<ExploreStep> violation_path;
+};
+
+// Returns a violation description, or nullopt if the state is fine.
+using StateCheck = std::function<std::optional<std::string>(const World&)>;
+
+namespace engine {
+
+// Explores every state reachable from `initial` under the options.
+// `invariant` runs at every state (pass {} to skip); `terminal` runs at
+// quiescent states.
+ExploreResult frontier_search(const World& initial, const ExploreOptions& opt,
+                              const StateCheck& invariant,
+                              const StateCheck& terminal);
+
+}  // namespace engine
+}  // namespace memu

@@ -1,0 +1,54 @@
+#include "engine/visited.h"
+
+#include "common/check.h"
+
+namespace memu::engine {
+
+VisitedSet::VisitedSet(const Options& opt) : exact_(opt.exact) {
+  const std::size_t n = opt.shards == 0 ? 1 : opt.shards;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+bool VisitedSet::contains(const Bytes& key) const {
+  const std::uint64_t fp = fingerprint64(key);
+  Shard& s = shard_for(fp);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!exact_) return s.fingerprints.contains(fp);
+  return s.exact.contains(std::string(key.begin(), key.end()));
+}
+
+bool VisitedSet::insert(const Bytes& key) {
+  const std::uint64_t fp = fingerprint64(key);
+  Shard& s = shard_for(fp);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!exact_) {
+    const bool fresh = s.fingerprints.insert(fp).second;
+    if (fresh) s.key_bytes += sizeof(std::uint64_t);
+    return fresh;
+  }
+  const bool fresh = s.exact.insert(std::string(key.begin(), key.end())).second;
+  if (fresh) s.key_bytes += key.size() + sizeof(std::string);
+  return fresh;
+}
+
+std::size_t VisitedSet::size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    n += exact_ ? s->exact.size() : s->fingerprints.size();
+  }
+  return n;
+}
+
+std::size_t VisitedSet::memory_bytes() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    n += s->key_bytes;
+  }
+  return n;
+}
+
+}  // namespace memu::engine

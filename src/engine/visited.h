@@ -1,0 +1,65 @@
+// VisitedSet: deduplication over canonical World encodings.
+//
+// The explorer used to retain the FULL canonical encoding of every visited
+// state (hundreds of bytes each) in one unordered_set<string>. This set
+// stores, by default, only a 64-bit fingerprint (common/hash.h) — an
+// ~encoding-length factor less memory — and shards the table so concurrent
+// frontier workers dedupe under per-shard mutexes instead of one global
+// lock. An opt-in exact mode keeps the full bytes for collision-paranoid
+// runs (a fingerprint collision would silently merge two distinct states;
+// at 64 bits the expected collision count for S states is ~S^2 / 2^65).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/hash.h"
+
+namespace memu::engine {
+
+class VisitedSet {
+ public:
+  struct Options {
+    bool exact = false;      // store full encodings instead of fingerprints
+    std::size_t shards = 1;  // >1 for concurrent inserters
+  };
+
+  explicit VisitedSet(const Options& opt);
+
+  // True when `key` has already been inserted. (A fingerprint collision in
+  // non-exact mode reports a false positive; see header comment.)
+  bool contains(const Bytes& key) const;
+
+  // Inserts `key`; returns true iff it was not already present. Safe to
+  // call concurrently from multiple threads.
+  bool insert(const Bytes& key);
+
+  std::size_t size() const;
+
+  // Approximate bytes of key material retained (8 per state in fingerprint
+  // mode; the encoding length plus string bookkeeping in exact mode). The
+  // memory the dedupe-mode choice actually controls.
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_set<std::uint64_t> fingerprints;
+    std::unordered_set<std::string> exact;
+    std::size_t key_bytes = 0;
+  };
+
+  Shard& shard_for(std::uint64_t fp) const {
+    return *shards_[fp % shards_.size()];
+  }
+
+  bool exact_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace memu::engine

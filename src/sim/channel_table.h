@@ -1,0 +1,121 @@
+// ChannelTable: dense per-(src, dst) storage for in-flight messages.
+//
+// The World used to keep channels in a std::map<ChannelId, std::deque>,
+// which meant a tree walk per deliverability query and a node-allocating
+// rebuild on every deep copy — the dominant cost of the explorer and the
+// valency prober, which fork Worlds once per transition. The table flattens
+// that: slot src * n + dst holds a contiguous message vector, and a sorted
+// index of non-empty slots preserves the deterministic (src, dst) iteration
+// order the round-robin scheduler and the canonical encoding rely on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/message.h"
+
+namespace memu {
+
+// Shared "no such index" sentinel for in-channel message positions (was
+// three separate constexpr npos definitions inside world.cpp).
+inline constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+class ChannelTable {
+ public:
+  using Queue = std::vector<Message>;
+
+  // Grows the table to hold n * n directed channels. Existing messages are
+  // re-slotted; relative (src, dst) order is preserved.
+  void resize_nodes(std::size_t n) {
+    if (n <= nodes_) return;
+    std::vector<Queue> grown(n * n);
+    std::vector<std::uint32_t> active;
+    active.reserve(active_.size());
+    for (const std::uint32_t slot : active_) {
+      const std::uint32_t src = slot / static_cast<std::uint32_t>(nodes_);
+      const std::uint32_t dst = slot % static_cast<std::uint32_t>(nodes_);
+      const std::uint32_t re = src * static_cast<std::uint32_t>(n) + dst;
+      grown[re] = std::move(slots_[slot]);
+      active.push_back(re);  // src-major order is preserved by re-slotting
+    }
+    slots_ = std::move(grown);
+    active_ = std::move(active);
+    nodes_ = n;
+  }
+
+  std::size_t node_count() const { return nodes_; }
+
+  void push(ChannelId chan, Message msg) {
+    const std::size_t slot = slot_of(chan);
+    Queue& q = slots_[slot];
+    if (q.empty()) activate(static_cast<std::uint32_t>(slot));
+    q.push_back(std::move(msg));
+  }
+
+  // Removes and returns the message at `index` on `chan`.
+  Message pop(ChannelId chan, std::size_t index) {
+    const std::size_t slot = slot_of(chan);
+    Queue& q = slots_[slot];
+    MEMU_CHECK(index < q.size());
+    Message msg = std::move(q[index]);
+    q.erase(q.begin() + static_cast<std::ptrdiff_t>(index));
+    if (q.empty()) deactivate(static_cast<std::uint32_t>(slot));
+    return msg;
+  }
+
+  // Non-empty queue for `chan`, or nullptr.
+  const Queue* find(ChannelId chan) const {
+    if (chan.src.value >= nodes_ || chan.dst.value >= nodes_) return nullptr;
+    const Queue& q = slots_[chan.src.value * nodes_ + chan.dst.value];
+    return q.empty() ? nullptr : &q;
+  }
+
+  std::size_t depth(ChannelId chan) const {
+    const Queue* q = find(chan);
+    return q == nullptr ? 0 : q->size();
+  }
+
+  std::size_t nonempty_count() const { return active_.size(); }
+
+  std::size_t total_messages() const {
+    std::size_t n = 0;
+    for (const std::uint32_t slot : active_) n += slots_[slot].size();
+    return n;
+  }
+
+  // Visits non-empty channels in ascending (src, dst) order.
+  template <class Fn>
+  void for_each_nonempty(Fn&& fn) const {
+    for (const std::uint32_t slot : active_) fn(chan_of(slot), slots_[slot]);
+  }
+
+  ChannelId chan_of(std::uint32_t slot) const {
+    return ChannelId{NodeId{slot / static_cast<std::uint32_t>(nodes_)},
+                     NodeId{slot % static_cast<std::uint32_t>(nodes_)}};
+  }
+
+ private:
+  std::size_t slot_of(ChannelId chan) const {
+    MEMU_CHECK(chan.src.value < nodes_ && chan.dst.value < nodes_);
+    return chan.src.value * nodes_ + chan.dst.value;
+  }
+
+  void activate(std::uint32_t slot) {
+    const auto it = std::lower_bound(active_.begin(), active_.end(), slot);
+    active_.insert(it, slot);
+  }
+
+  void deactivate(std::uint32_t slot) {
+    const auto it = std::lower_bound(active_.begin(), active_.end(), slot);
+    MEMU_CHECK(it != active_.end() && *it == slot);
+    active_.erase(it);
+  }
+
+  std::size_t nodes_ = 0;
+  std::vector<Queue> slots_;        // nodes_^2 queues, slot = src * n + dst
+  std::vector<std::uint32_t> active_;  // sorted slots with pending messages
+};
+
+}  // namespace memu

@@ -1,121 +1,11 @@
 #include "sim/explorer.h"
 
-#include <string>
-#include <unordered_set>
-#include <vector>
-
-#include "common/check.h"
-
 namespace memu {
-
-namespace {
-
-class Explorer {
- public:
-  Explorer(const ExploreOptions& opt, const StateCheck& invariant,
-           const StateCheck& terminal)
-      : opt_(opt), invariant_(invariant), terminal_(terminal) {}
-
-  ExploreResult run(const World& initial) {
-    result_.complete = true;
-    dfs(initial, 0);
-    if (aborted_) result_.complete = false;
-    return result_;
-  }
-
- private:
-  void record_violation(const std::string& why) {
-    if (result_.ok) {
-      result_.ok = false;
-      result_.violation = why;
-      result_.violation_path = path_;
-    }
-    if (opt_.stop_at_first_violation) aborted_ = true;
-  }
-
-  void dfs(const World& world, std::size_t depth) {
-    if (aborted_) return;
-
-    if (opt_.dedupe) {
-      const Bytes key = world.canonical_encoding();
-      if (!visited_.insert(std::string(key.begin(), key.end())).second) {
-        ++result_.deduped;
-        return;
-      }
-    }
-    if (result_.states_visited >= opt_.max_states) {
-      result_.complete = false;
-      return;
-    }
-    ++result_.states_visited;
-
-    if (invariant_) {
-      if (const auto why = invariant_(world); why.has_value()) {
-        record_violation("invariant: " + *why);
-        if (aborted_) return;
-      }
-    }
-
-    const std::vector<ChannelId> chans = world.deliverable_channels();
-    if (chans.empty()) {
-      ++result_.terminal_states;
-      if (terminal_) {
-        if (const auto why = terminal_(world); why.has_value())
-          record_violation("terminal: " + *why);
-      }
-      return;
-    }
-    if (depth >= opt_.max_depth) {
-      result_.complete = false;
-      return;
-    }
-
-    for (const ChannelId chan : chans) {
-      if (!opt_.reorder) {
-        // First allowed index (may be > 0 under value/bulk blocks).
-        const std::size_t index = world.deliverable_indices(chan).front();
-        World next = world;  // deep copy
-        next.deliver(chan, index);
-        ++result_.transitions;
-        path_.push_back({chan, index});
-        dfs(next, depth + 1);
-        path_.pop_back();
-        if (aborted_) return;
-        continue;
-      }
-      // Non-FIFO: branch over every deliverable position. Redundant
-      // branches (identical payloads whose deliveries lead to identical
-      // states) merge in the visited set — payload-level merging here
-      // would be unsound for non-adjacent duplicates, whose remaining
-      // queue orders differ.
-      for (const std::size_t index : world.deliverable_indices(chan)) {
-        World next = world;
-        next.deliver(chan, index);
-        ++result_.transitions;
-        path_.push_back({chan, index});
-        dfs(next, depth + 1);
-        path_.pop_back();
-        if (aborted_) return;
-      }
-    }
-  }
-
-  const ExploreOptions& opt_;
-  const StateCheck& invariant_;
-  const StateCheck& terminal_;
-  ExploreResult result_;
-  std::unordered_set<std::string> visited_;
-  std::vector<ExploreStep> path_;  // deliveries from the root to here
-  bool aborted_ = false;
-};
-
-}  // namespace
 
 ExploreResult explore(const World& initial, const ExploreOptions& opt,
                       const StateCheck& invariant,
                       const StateCheck& terminal) {
-  Explorer e(opt, invariant, terminal);
-  return e.run(initial);
+  return engine::frontier_search(initial, opt, invariant, terminal);
 }
 
 }  // namespace memu

@@ -3,62 +3,22 @@
 //
 // From an initial World (with any number of pre-invoked operations), the
 // explorer enumerates EVERY reachable state under all per-channel-FIFO
-// delivery interleavings, deduplicating on the canonical state encoding
-// (commuting deliveries merge, which is what makes exhaustive exploration
-// feasible for small systems). At every state a user invariant runs; at
-// every quiescent (terminal) state a terminal property runs — e.g. "the
-// observed history is linearizable".
+// delivery interleavings (or all reorderings, with opt.reorder),
+// deduplicating on the canonical state encoding (commuting deliveries
+// merge, which is what makes exhaustive exploration feasible for small
+// systems). At every state a user invariant runs; at every quiescent
+// (terminal) state a terminal property runs — e.g. "the observed history is
+// linearizable".
 //
-// This upgrades the seed-sweep tests from "no violation found on 20
-// schedules" to "no violation exists in any schedule" for small
-// configurations. Channels are explored FIFO; our algorithms do not depend
-// on ordering, and the paper's model allows any order — FIFO exploration
-// is therefore a sound subset of adversary behaviors (every FIFO execution
-// is a legal execution).
+// This header is the stable entry point; the search itself lives in the
+// engine layer (engine/frontier.h): an iterative frontier search with a
+// sequential mode that reproduces the original recursive DFS exactly and a
+// multi-threaded mode (opt.threads) over a sharded fingerprint visited set.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <optional>
-#include <string>
-
-#include "sim/world.h"
+#include "engine/frontier.h"
 
 namespace memu {
-
-struct ExploreOptions {
-  std::size_t max_depth = 200;       // deliveries along one path
-  std::size_t max_states = 500'000;  // distinct states to visit
-  bool dedupe = true;                // canonical-state memoization
-  bool stop_at_first_violation = true;
-  // Branch over every in-channel position too (the paper's channels are
-  // not FIFO). Branches that lead to identical states (e.g. delivering
-  // either of two adjacent identical payloads) merge in the visited set.
-  bool reorder = false;
-};
-
-// One delivery along an exploration path.
-struct ExploreStep {
-  ChannelId chan;
-  std::size_t index = 0;
-};
-
-struct ExploreResult {
-  std::size_t states_visited = 0;   // distinct states expanded
-  std::size_t terminal_states = 0;  // quiescent states reached
-  std::size_t transitions = 0;      // deliveries executed
-  std::size_t deduped = 0;          // revisits merged away
-  bool complete = false;  // the whole space fit within the bounds
-  bool ok = true;         // no invariant/terminal violation found
-  std::string violation;  // description of the first violation
-  // The delivery sequence from the initial state to the first violating
-  // state — a replayable counterexample (apply World::deliver(chan, index)
-  // in order).
-  std::vector<ExploreStep> violation_path;
-};
-
-// Returns a violation description, or nullopt if the state is fine.
-using StateCheck = std::function<std::optional<std::string>(const World&)>;
 
 // `invariant` runs at every state (pass nullptr-like {} to skip);
 // `terminal` runs at quiescent states.

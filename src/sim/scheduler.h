@@ -1,61 +1,6 @@
-// Schedulers: drive a World by repeatedly choosing a deliverable message.
-//
-// The paper's liveness property quantifies over *fair* executions. Both
-// built-in policies are fair:
-//   * kRoundRobin — cycles deterministically over channels; every pending
-//     message is delivered within one full rotation.
-//   * kRandom — picks uniformly among deliverable channels with a private,
-//     seeded RNG; fair with probability 1 and, for our bounded runs, checked
-//     by run_until step limits.
-//   * kRandomReorder — additionally picks a uniform position WITHIN the
-//     channel (the paper's channels are not FIFO); still fair.
-// Adversarial schedules (crash, freeze, deliver in a chosen order) do not
-// need a Scheduler at all: the adversary harness calls World::deliver
-// directly.
+// Forwarding header: Scheduler moved to the engine layer, where it is one
+// ExecutionDriver among several (see engine/driver.h). Kept so existing
+// `#include "sim/scheduler.h"` call sites continue to work.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-
-#include "common/rng.h"
-#include "sim/world.h"
-
-namespace memu {
-
-class Scheduler {
- public:
-  enum class Policy { kRoundRobin, kRandom, kRandomReorder };
-
-  explicit Scheduler(Policy policy = Policy::kRoundRobin,
-                     std::uint64_t seed = 1)
-      : policy_(policy), rng_(seed) {}
-
-  // Delivers one message if any is deliverable. Returns false when the
-  // system is quiescent (or fully blocked by freezes).
-  bool step(World& world);
-
-  // Steps until `pred(world)` holds or `max_steps` deliveries happen or the
-  // world quiesces. Returns true iff the predicate was satisfied.
-  bool run_until(World& world, const std::function<bool(const World&)>& pred,
-                 std::uint64_t max_steps);
-
-  // Steps until the world has no deliverable messages (quiescence) or
-  // `max_steps` deliveries happen. Returns true iff quiescent.
-  bool drain(World& world, std::uint64_t max_steps);
-
-  // Steps until `n` more operation responses appear in the oplog.
-  bool run_until_responses(World& world, std::size_t n,
-                           std::uint64_t max_steps);
-
-  std::uint64_t steps_taken() const { return steps_taken_; }
-
- private:
-  ChannelId choose(World& world);
-
-  Policy policy_;
-  Rng rng_;
-  ChannelId cursor_{};  // round-robin position
-  std::uint64_t steps_taken_ = 0;
-};
-
-}  // namespace memu
+#include "engine/scheduler.h"

@@ -49,6 +49,7 @@ NodeId World::add_process(std::unique_ptr<Process> p) {
   const NodeId id{static_cast<std::uint32_t>(processes_.size())};
   p->set_id(id);
   processes_.push_back(std::move(p));
+  channels_.resize_nodes(processes_.size());
   return id;
 }
 
@@ -80,15 +81,14 @@ void World::enqueue(ChannelId chan, MessagePtr payload) {
   // adversary script; enqueuing checks only validity of endpoints.
   MEMU_CHECK(chan.src.value < processes_.size());
   MEMU_CHECK(chan.dst.value < processes_.size());
-  channels_[chan].push_back(Message{chan, std::move(payload), step_count_});
+  channels_.push(chan, Message{chan, std::move(payload), step_count_});
 }
 
 std::size_t World::first_allowed_index(
-    ChannelId chan, const std::deque<Message>& queue) const {
-  constexpr std::size_t npos = static_cast<std::size_t>(-1);
-  if (queue.empty()) return npos;
-  if (crashed_.contains(chan.dst)) return npos;  // held; dropped on delivery
-  if (frozen_.contains(chan.src) || frozen_.contains(chan.dst)) return npos;
+    ChannelId chan, const ChannelTable::Queue& queue) const {
+  if (queue.empty()) return kNoIndex;
+  if (crashed_.contains(chan.dst)) return kNoIndex;  // held; dropped on delivery
+  if (frozen_.contains(chan.src) || frozen_.contains(chan.dst)) return kNoIndex;
   const bool vblock = value_blocked_.contains(chan.src);
   const bool bblock = bulk_blocked_.contains(chan.src);
   if (!vblock && !bblock) return 0;
@@ -98,47 +98,50 @@ std::size_t World::first_allowed_index(
     if (bblock && payload.value_bulk()) continue;
     return i;
   }
-  return npos;
+  return kNoIndex;
+}
+
+std::size_t World::first_deliverable_index(ChannelId chan) const {
+  const ChannelTable::Queue* queue = channels_.find(chan);
+  if (queue == nullptr) return kNoIndex;
+  return first_allowed_index(chan, *queue);
 }
 
 std::vector<ChannelId> World::deliverable_channels() const {
-  constexpr std::size_t npos = static_cast<std::size_t>(-1);
   std::vector<ChannelId> out;
-  for (const auto& [chan, queue] : channels_) {
-    if (first_allowed_index(chan, queue) != npos) out.push_back(chan);
-  }
+  channels_.for_each_nonempty(
+      [&](ChannelId chan, const ChannelTable::Queue& queue) {
+        if (first_allowed_index(chan, queue) != kNoIndex) out.push_back(chan);
+      });
   return out;
 }
 
 bool World::has_deliverable() const {
-  constexpr std::size_t npos = static_cast<std::size_t>(-1);
-  for (const auto& [chan, queue] : channels_) {
-    if (first_allowed_index(chan, queue) != npos) return true;
-  }
-  return false;
+  bool found = false;
+  channels_.for_each_nonempty(
+      [&](ChannelId chan, const ChannelTable::Queue& queue) {
+        if (!found && first_allowed_index(chan, queue) != kNoIndex)
+          found = true;
+      });
+  return found;
 }
 
 std::size_t World::channel_depth(ChannelId chan) const {
-  auto it = channels_.find(chan);
-  return it == channels_.end() ? 0 : it->second.size();
+  return channels_.depth(chan);
 }
 
-std::size_t World::in_flight() const {
-  std::size_t n = 0;
-  for (const auto& [chan, queue] : channels_) n += queue.size();
-  return n;
-}
+std::size_t World::in_flight() const { return channels_.total_messages(); }
 
 std::vector<std::size_t> World::deliverable_indices(ChannelId chan) const {
   std::vector<std::size_t> out;
-  const auto it = channels_.find(chan);
-  if (it == channels_.end()) return out;
+  const ChannelTable::Queue* queue = channels_.find(chan);
+  if (queue == nullptr) return out;
   if (crashed_.contains(chan.dst)) return out;
   if (frozen_.contains(chan.src) || frozen_.contains(chan.dst)) return out;
   const bool vblock = value_blocked_.contains(chan.src);
   const bool bblock = bulk_blocked_.contains(chan.src);
-  for (std::size_t i = 0; i < it->second.size(); ++i) {
-    const auto& payload = *it->second[i].payload;
+  for (std::size_t i = 0; i < queue->size(); ++i) {
+    const auto& payload = *(*queue)[i].payload;
     if (vblock && payload.value_dependent()) continue;
     if (bblock && payload.value_bulk()) continue;
     out.push_back(i);
@@ -147,29 +150,26 @@ std::vector<std::size_t> World::deliverable_indices(ChannelId chan) const {
 }
 
 void World::deliver_next_allowed(ChannelId chan) {
-  const auto it = channels_.find(chan);
-  MEMU_CHECK_MSG(it != channels_.end(), "no messages on " << chan);
-  const std::size_t index = first_allowed_index(chan, it->second);
-  MEMU_CHECK_MSG(index != static_cast<std::size_t>(-1),
-                 "no deliverable message on " << chan);
+  const ChannelTable::Queue* queue = channels_.find(chan);
+  MEMU_CHECK_MSG(queue != nullptr, "no messages on " << chan);
+  const std::size_t index = first_allowed_index(chan, *queue);
+  MEMU_CHECK_MSG(index != kNoIndex, "no deliverable message on " << chan);
   deliver(chan, index);
 }
 
 void World::deliver(ChannelId chan, std::size_t index) {
-  auto it = channels_.find(chan);
-  MEMU_CHECK_MSG(it != channels_.end() && index < it->second.size(),
+  const ChannelTable::Queue* queue = channels_.find(chan);
+  MEMU_CHECK_MSG(queue != nullptr && index < queue->size(),
                  "no message at " << chan << "[" << index << "]");
   MEMU_CHECK_MSG(!frozen_.contains(chan.src) && !frozen_.contains(chan.dst),
                  "delivery on frozen channel " << chan);
   MEMU_CHECK_MSG(!value_blocked_.contains(chan.src) ||
-                     !it->second[index].payload->value_dependent(),
+                     !(*queue)[index].payload->value_dependent(),
                  "value-dependent delivery from value-blocked " << chan.src);
   MEMU_CHECK_MSG(!bulk_blocked_.contains(chan.src) ||
-                     !it->second[index].payload->value_bulk(),
+                     !(*queue)[index].payload->value_bulk(),
                  "bulk-value delivery from bulk-blocked " << chan.src);
-  Message msg = std::move(it->second[index]);
-  it->second.erase(it->second.begin() + static_cast<std::ptrdiff_t>(index));
-  if (it->second.empty()) channels_.erase(it);
+  Message msg = channels_.pop(chan, index);
 
   ++step_count_;
   const bool dropped = crashed_.contains(chan.dst);
@@ -212,16 +212,17 @@ Bytes World::canonical_encoding() const {
   BufWriter w;
   w.u64(processes_.size());
   for (const auto& p : processes_) w.bytes(p->encode_state());
-  w.u64(channels_.size());
-  for (const auto& [chan, queue] : channels_) {
-    w.u32(chan.src.value);
-    w.u32(chan.dst.value);
-    w.u64(queue.size());
-    for (const auto& msg : queue) w.bytes(msg.payload->encode());
-  }
-  const auto encode_set = [&w](const std::set<NodeId>& s) {
+  w.u64(channels_.nonempty_count());
+  channels_.for_each_nonempty(
+      [&](ChannelId chan, const ChannelTable::Queue& queue) {
+        w.u32(chan.src.value);
+        w.u32(chan.dst.value);
+        w.u64(queue.size());
+        for (const auto& msg : queue) w.bytes(msg.payload->encode());
+      });
+  const auto encode_set = [&w](const NodeSet& s) {
     w.u64(s.size());
-    for (const NodeId id : s) w.u32(id.value);
+    s.for_each([&w](NodeId id) { w.u32(id.value); });
   };
   encode_set(crashed_);
   encode_set(frozen_);
@@ -241,8 +242,10 @@ Bytes World::canonical_encoding() const {
 
 StateBits World::channel_bits() const {
   StateBits total;
-  for (const auto& [chan, queue] : channels_)
-    for (const auto& m : queue) total += m.payload->size_bits();
+  channels_.for_each_nonempty(
+      [&](ChannelId, const ChannelTable::Queue& queue) {
+        for (const auto& m : queue) total += m.payload->size_bits();
+      });
   return total;
 }
 

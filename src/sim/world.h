@@ -10,15 +10,14 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "common/check.h"
 #include "common/ids.h"
+#include "common/nodeset.h"
 #include "common/rng.h"
+#include "sim/channel_table.h"
 #include "sim/message.h"
 #include "sim/oplog.h"
 #include "sim/process.h"
@@ -115,6 +114,11 @@ class World {
   // oldest value-independent message). Contract violation if none.
   void deliver_next_allowed(ChannelId chan);
 
+  // First index on `chan` whose delivery the current crash/freeze/block
+  // state permits, or kNoIndex. The FIFO fast path of the exploration
+  // engine (avoids materializing deliverable_indices()).
+  std::size_t first_deliverable_index(ChannelId chan) const;
+
   // Every index on `chan` whose delivery the current freeze/block state
   // permits. The paper's channels are NOT FIFO: reordering adversaries and
   // the explorer's reorder mode enumerate these.
@@ -159,17 +163,17 @@ class World {
  private:
   friend class Context;
 
-  // First deliverable index on a channel under the current freeze and
-  // value-block state, or npos.
+  // First deliverable index in `queue` under the current freeze and
+  // value-block state, or kNoIndex (shared constant in channel_table.h).
   std::size_t first_allowed_index(ChannelId chan,
-                                  const std::deque<Message>& queue) const;
+                                  const ChannelTable::Queue& queue) const;
 
   std::vector<std::unique_ptr<Process>> processes_;
-  std::map<ChannelId, std::deque<Message>> channels_;
-  std::set<NodeId> crashed_;
-  std::set<NodeId> frozen_;
-  std::set<NodeId> value_blocked_;
-  std::set<NodeId> bulk_blocked_;
+  ChannelTable channels_;   // dense (src, dst)-indexed message queues
+  NodeSet crashed_;         // flat bitsets: hot-path membership + cheap copy
+  NodeSet frozen_;
+  NodeSet value_blocked_;
+  NodeSet bulk_blocked_;
   OpLog oplog_;
   bool tracing_ = false;
   Trace trace_;

@@ -23,8 +23,10 @@ RunResult run(World& world, const std::vector<NodeId>& writers,
   MEMU_CHECK(opt.value_size >= 12);
 
   RunResult result;
-  StorageMeter meter;
+  // Storage observation is the driver layer's job: the scheduler samples
+  // peaks after every delivery; observe() seeds the pre-run point.
   Scheduler sched(opt.policy, opt.seed);
+  sched.enable_metering();
 
   std::map<NodeId, ClientState> state;
   for (const NodeId w : writers) state[w] = {};
@@ -35,7 +37,7 @@ RunResult run(World& world, const std::vector<NodeId>& writers,
                                      readers.size() * opt.reads_per_reader;
   std::size_t responses = 0;
 
-  meter.observe(world);
+  sched.observe(world);
   for (std::uint64_t step = 0; step < opt.max_steps; ++step) {
     // Absorb new oplog events: mark clients idle on response.
     const auto& events = world.oplog().events();
@@ -75,7 +77,6 @@ RunResult run(World& world, const std::vector<NodeId>& writers,
       // Quiescent with quotas unmet and nothing to deliver: stuck.
       break;
     }
-    meter.observe(world);
   }
 
   // Absorb any trailing events.
@@ -92,7 +93,7 @@ RunResult run(World& world, const std::vector<NodeId>& writers,
 
   result.completed = responses >= want_responses;
   result.steps = sched.steps_taken();
-  result.storage = meter.report();
+  result.storage = sched.storage_report();
   result.history = History::from_oplog(world.oplog());
   return result;
 }

@@ -1,0 +1,208 @@
+// Engine-level frontier search: accounting identities, max_states
+// truncation semantics, cycle merging, and sequential/parallel and
+// fingerprint/exact agreement.
+#include "engine/frontier.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/abd/system.h"
+#include "sim/explorer.h"
+
+namespace memu {
+namespace {
+
+struct Mark final : MessagePayload {
+  std::uint64_t id;
+  explicit Mark(std::uint64_t i) : id(i) {}
+  std::string type_name() const override { return "test.mark"; }
+  StateBits size_bits() const override { return {0, 64}; }
+  void encode_content(BufWriter& w) const override { w.u64(id); }
+};
+
+class MarkSink final : public CloneableProcess<MarkSink> {
+ public:
+  void on_message(Context&, NodeId, const MessagePayload& msg) override {
+    received_ |= 1ull << dynamic_cast<const Mark&>(msg).id;
+  }
+  StateBits state_size() const override { return {0, 64}; }
+  Bytes encode_state() const override {
+    BufWriter w;
+    w.u64(received_);
+    return std::move(w).take();
+  }
+  std::string name() const override { return "test.mark_sink"; }
+  bool is_server() const override { return true; }
+
+ private:
+  std::uint64_t received_ = 0;
+};
+
+// Stateless echo: every delivery re-sends the same payload back, so the
+// reachable graph is a 2-cycle the visited set must close.
+class Reflector final : public CloneableProcess<Reflector> {
+ public:
+  void on_message(Context& ctx, NodeId from,
+                  const MessagePayload& msg) override {
+    ctx.send(from, make_msg<Mark>(dynamic_cast<const Mark&>(msg).id));
+  }
+  StateBits state_size() const override { return {0, 0}; }
+  Bytes encode_state() const override { return {}; }
+  std::string name() const override { return "test.reflector"; }
+  bool is_server() const override { return true; }
+};
+
+// Every popped non-root node is classified exactly once: freshly expanded,
+// merged into an already-expanded state, or rejected by max_states. The
+// old explorer filed max_states rejections into the visited set, which
+// both lost them from the accounting and miscounted later re-encounters
+// as merges.
+void expect_accounting_identity(const ExploreResult& r) {
+  ASSERT_GE(r.states_visited, 1u);
+  EXPECT_EQ(r.transitions, (r.states_visited - 1) + r.deduped + r.truncated);
+}
+
+TEST(FrontierSearch, CycleMergesIntoVisitedSet) {
+  World w;
+  const NodeId a = w.add_process(std::make_unique<Reflector>());
+  const NodeId b = w.add_process(std::make_unique<Reflector>());
+  w.enqueue({a, b}, make_msg<Mark>(0));
+
+  const auto res = engine::frontier_search(w, ExploreOptions{}, {}, {});
+  // Ping-pong between a and b: the message's position is the only state.
+  EXPECT_TRUE(res.complete);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.states_visited, 2u);
+  EXPECT_EQ(res.terminal_states, 0u);  // never quiescent
+  EXPECT_EQ(res.transitions, 2u);
+  EXPECT_EQ(res.deduped, 1u);  // the step closing the cycle
+  EXPECT_EQ(res.truncated, 0u);
+  expect_accounting_identity(res);
+}
+
+TEST(FrontierSearch, MaxStatesRejectionsAreTruncatedNotDeduped) {
+  // Diamond: two independent messages. Cap the search at 2 expanded
+  // states: the root and the left branch fit; the bottom state and the
+  // right branch are cap-rejected and must surface as `truncated`, NOT as
+  // merges (they were never expanded).
+  World w;
+  const NodeId a = w.add_process(std::make_unique<MarkSink>());
+  const NodeId b = w.add_process(std::make_unique<MarkSink>());
+  const NodeId c = w.add_process(std::make_unique<MarkSink>());
+  w.enqueue({a, b}, make_msg<Mark>(0));
+  w.enqueue({a, c}, make_msg<Mark>(1));
+
+  ExploreOptions opt;
+  opt.max_states = 2;
+  const auto res = engine::frontier_search(w, opt, {}, {});
+  EXPECT_FALSE(res.complete);
+  EXPECT_EQ(res.states_visited, 2u);
+  EXPECT_EQ(res.deduped, 0u);
+  EXPECT_EQ(res.truncated, 2u);
+  EXPECT_EQ(res.transitions, 3u);
+  expect_accounting_identity(res);
+}
+
+TEST(FrontierSearch, AccountingIdentityOnAbd) {
+  abd::Options opt;
+  opt.n_servers = 3;
+  opt.f = 1;
+  opt.single_writer = true;
+  opt.value_size = 12;
+  abd::System sys = abd::make_system(opt);
+  sys.world.invoke(sys.writers[0],
+                   {OpType::kWrite, unique_value(1, 1, opt.value_size)});
+  sys.world.invoke(sys.readers[0], {OpType::kRead, {}});
+
+  const auto res = engine::frontier_search(sys.world, ExploreOptions{}, {}, {});
+  EXPECT_TRUE(res.complete);
+  EXPECT_EQ(res.truncated, 0u);
+  expect_accounting_identity(res);
+}
+
+ExploreResult explore_abd(const ExploreOptions& opt) {
+  abd::Options aopt;
+  aopt.n_servers = 3;
+  aopt.f = 1;
+  aopt.single_writer = true;
+  aopt.value_size = 12;
+  abd::System sys = abd::make_system(aopt);
+  sys.world.invoke(sys.writers[0],
+                   {OpType::kWrite, unique_value(1, 1, aopt.value_size)});
+  sys.world.invoke(sys.readers[0], {OpType::kRead, {}});
+  return engine::frontier_search(sys.world, opt, {}, {});
+}
+
+TEST(FrontierSearch, ParallelMatchesSequentialOnAbd) {
+  ExploreOptions seq;
+  ExploreOptions par;
+  par.threads = 8;
+  const auto s = explore_abd(seq);
+  const auto p = explore_abd(par);
+  EXPECT_TRUE(s.complete);
+  EXPECT_TRUE(p.complete);
+  EXPECT_EQ(s.states_visited, p.states_visited);
+  EXPECT_EQ(s.terminal_states, p.terminal_states);
+  EXPECT_EQ(s.transitions, p.transitions);
+  EXPECT_EQ(s.deduped, p.deduped);
+  EXPECT_EQ(s.ok, p.ok);
+  expect_accounting_identity(p);
+}
+
+TEST(FrontierSearch, ParallelMatchesSequentialInReorderMode) {
+  ExploreOptions seq;
+  seq.reorder = true;
+  ExploreOptions par = seq;
+  par.threads = 4;
+  const auto s = explore_abd(seq);
+  const auto p = explore_abd(par);
+  EXPECT_TRUE(s.complete);
+  EXPECT_EQ(s.states_visited, p.states_visited);
+  EXPECT_EQ(s.terminal_states, p.terminal_states);
+  EXPECT_EQ(s.transitions, p.transitions);
+  EXPECT_EQ(s.deduped, p.deduped);
+}
+
+TEST(FrontierSearch, ExactDedupeMatchesFingerprintAndCostsMore) {
+  ExploreOptions fp;
+  ExploreOptions exact;
+  exact.exact_dedupe = true;
+  const auto a = explore_abd(fp);
+  const auto b = explore_abd(exact);
+  // Same state graph either way (no 64-bit collisions at this scale)...
+  EXPECT_EQ(a.states_visited, b.states_visited);
+  EXPECT_EQ(a.terminal_states, b.terminal_states);
+  EXPECT_EQ(a.deduped, b.deduped);
+  // ...but exact mode retains the full encodings.
+  EXPECT_EQ(a.dedupe_bytes, 8 * a.states_visited);
+  EXPECT_GE(b.dedupe_bytes, 5 * a.dedupe_bytes);
+}
+
+TEST(FrontierSearch, ParallelFindsTheSameInvariantViolation) {
+  // Both modes must report a violation (parallel may find a different
+  // witness, but ok/violation_path replayability hold in both).
+  auto run = [](std::size_t threads) {
+    World w;
+    const NodeId a = w.add_process(std::make_unique<MarkSink>());
+    const NodeId b = w.add_process(std::make_unique<MarkSink>());
+    w.enqueue({a, b}, make_msg<Mark>(0));
+    w.enqueue({a, b}, make_msg<Mark>(1));
+    ExploreOptions opt;
+    opt.threads = threads;
+    return engine::frontier_search(
+        w, opt,
+        [](const World& world) -> std::optional<std::string> {
+          if (world.in_flight() == 0) return "drained";
+          return std::nullopt;
+        },
+        {});
+  };
+  const auto s = run(1);
+  const auto p = run(4);
+  EXPECT_FALSE(s.ok);
+  EXPECT_FALSE(p.ok);
+  EXPECT_EQ(s.violation_path.size(), 2u);
+  EXPECT_EQ(p.violation_path.size(), 2u);
+}
+
+}  // namespace
+}  // namespace memu

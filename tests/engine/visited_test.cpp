@@ -1,0 +1,71 @@
+#include "engine/visited.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace memu::engine {
+namespace {
+
+Bytes key(std::uint64_t i) {
+  BufWriter w;
+  w.u64(i);
+  return std::move(w).take();
+}
+
+TEST(VisitedSet, InsertOnceThenContains) {
+  VisitedSet set({/*exact=*/false, /*shards=*/1});
+  EXPECT_FALSE(set.contains(key(7)));
+  EXPECT_TRUE(set.insert(key(7)));
+  EXPECT_TRUE(set.contains(key(7)));
+  EXPECT_FALSE(set.insert(key(7)));  // second insert is a no-op
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(VisitedSet, ExactModeBehavesIdentically) {
+  VisitedSet fp({/*exact=*/false, /*shards=*/4});
+  VisitedSet exact({/*exact=*/true, /*shards=*/4});
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(fp.insert(key(i % 300)), exact.insert(key(i % 300)));
+  }
+  EXPECT_EQ(fp.size(), 300u);
+  EXPECT_EQ(exact.size(), 300u);
+}
+
+TEST(VisitedSet, FingerprintModeRetainsEightBytesPerState) {
+  VisitedSet fp({/*exact=*/false, /*shards=*/8});
+  VisitedSet exact({/*exact=*/true, /*shards=*/8});
+  // 200-byte keys, the ballpark of a small World encoding.
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    BufWriter w;
+    for (int j = 0; j < 25; ++j) w.u64(i);
+    const Bytes k = std::move(w).take();
+    fp.insert(k);
+    exact.insert(k);
+  }
+  EXPECT_EQ(fp.memory_bytes(), 8u * 100);
+  EXPECT_GE(exact.memory_bytes(), 200u * 100);
+}
+
+TEST(VisitedSet, ConcurrentInsertersAgreeOnFreshness) {
+  // 4 threads racing over an overlapping key range: exactly one inserter
+  // per distinct key may see "fresh".
+  VisitedSet set({/*exact=*/false, /*shards=*/16});
+  constexpr std::uint64_t kKeys = 5000;
+  std::atomic<std::size_t> fresh{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kKeys; ++i) {
+        if (set.insert(key(i))) fresh.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(fresh.load(), kKeys);
+  EXPECT_EQ(set.size(), kKeys);
+}
+
+}  // namespace
+}  // namespace memu::engine
