@@ -1,12 +1,13 @@
 // Simulator microbenchmarks (google-benchmark): message-delivery
 // throughput, full-operation cost for ABD and CAS, and World snapshot
-// (deep-copy) cost — the operation the valency prober leans on.
+// (copy-on-write fork) cost — the operation the valency prober leans on.
 #include <benchmark/benchmark.h>
 
 #include "algo/abd/system.h"
 #include "algo/cas/system.h"
 #include "adversary/valency.h"
 #include "consistency/checker.h"
+#include "sim/cow_stats.h"
 #include "sim/explorer.h"
 #include "sim/scheduler.h"
 #include "workload/driver.h"
@@ -66,6 +67,9 @@ void BM_CasWriteReadPair(benchmark::State& state) {
 }
 BENCHMARK(BM_CasWriteReadPair)->Arg(5)->Arg(21);
 
+// The snapshot itself: post-COW this is O(#processes) pointer bumps — the
+// counters record how many bytes the copies actually materialize (a pure
+// fork that is never mutated detaches nothing).
 void BM_WorldSnapshot(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   memu::abd::Options opt;
@@ -76,19 +80,38 @@ void BM_WorldSnapshot(benchmark::State& state) {
   // Populate some in-flight state.
   sys.world.invoke(sys.writers[0],
                    {memu::OpType::kWrite, memu::unique_value(1, 1, 256)});
+  const memu::cowstats::Snapshot before = memu::cowstats::snapshot();
   for (auto _ : state) {
     memu::World copy = sys.world;
     benchmark::DoNotOptimize(copy);
   }
+  const memu::cowstats::Snapshot cow = memu::cowstats::snapshot() - before;
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["clone_bytes_per_copy"] =
+      iters > 0 ? static_cast<double>(cow.bytes_copied) / iters : 0;
+  state.counters["state_bytes"] =
+      static_cast<double>(sys.world.canonical_encoding().size());
 }
 BENCHMARK(BM_WorldSnapshot)->Arg(5)->Arg(21)->Arg(101);
 
+// A probe forks the World and runs the clone to quiescence: the COW
+// counters separate fork cost (pointer bumps) from the detaches the
+// clone's own mutations force.
 void BM_ValencyProbe(benchmark::State& state) {
   memu::adversary::Sut sut =
       memu::adversary::abd_sut_factory(5, 2, 16)();
+  const memu::cowstats::Snapshot before = memu::cowstats::snapshot();
   for (auto _ : state) {
     auto v = memu::adversary::probe_read(sut.world, sut.writer, sut.reader);
     benchmark::DoNotOptimize(v);
+  }
+  const memu::cowstats::Snapshot cow = memu::cowstats::snapshot() - before;
+  const auto iters = static_cast<double>(state.iterations());
+  if (iters > 0) {
+    state.counters["world_copies_per_probe"] =
+        static_cast<double>(cow.world_copies) / iters;
+    state.counters["clone_bytes_per_probe"] =
+        static_cast<double>(cow.bytes_copied) / iters;
   }
 }
 BENCHMARK(BM_ValencyProbe);

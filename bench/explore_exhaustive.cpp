@@ -11,6 +11,8 @@
 //   * CAS: atomicity of every terminal history at N=3, f=1;
 //   * storage invariant: ABD servers never exceed one value (B bits) at any
 //     reachable state — the replication cost is exact, not just typical.
+#include <sys/resource.h>
+
 #include <chrono>
 #include <iostream>
 #include <thread>
@@ -20,6 +22,7 @@
 #include "bench_json.h"
 #include "common/table.h"
 #include "consistency/checker.h"
+#include "sim/cow_stats.h"
 #include "sim/explorer.h"
 
 namespace {
@@ -144,10 +147,11 @@ void abd_inversion() {
         sys.world, ExploreOptions{},
         [&sys, v1](const World& w) -> std::optional<std::string> {
           bool saw_new = false;
-          for (const auto& e : w.oplog().events())
+          w.oplog().for_each([&](const OpEvent& e) {
             if (e.kind == OpEvent::Kind::kResponse &&
                 e.type == OpType::kRead && e.value == v1)
               saw_new = true;
+          });
           if (!saw_new) return std::nullopt;
           std::size_t stale = 0;
           for (const NodeId s : sys.servers)
@@ -207,19 +211,32 @@ World cas_bench_world() {
   return std::move(sys.world);
 }
 
+// Peak RSS proxy (kilobytes on Linux); coarse but enough to catch a
+// regression that re-inflates frontier memory.
+long peak_rss_kb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;
+}
+
 struct TimedExplore {
   ExploreResult result;
   double seconds = 0;
+  cowstats::Snapshot cow;          // copy/detach traffic during the run
+  std::size_t state_bytes = 0;     // canonical encoding length of the root
 };
 
 TimedExplore timed_explore(const ExploreOptions& opt) {
   const World w = cas_bench_world();
-  const auto t0 = std::chrono::steady_clock::now();
   TimedExplore out;
+  out.state_bytes = w.canonical_encoding().size();
+  const cowstats::Snapshot before = cowstats::snapshot();
+  const auto t0 = std::chrono::steady_clock::now();
   out.result = explore(w, opt, {}, {});
   out.seconds = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
+  out.cow = cowstats::snapshot() - before;
   return out;
 }
 
@@ -243,12 +260,33 @@ void engine_benchmark() {
                             s.result.transitions == p.result.transitions &&
                             s.result.deduped == p.result.deduped;
   const double speedup = p.seconds > 0 ? s.seconds / p.seconds : 0;
-  const double mem_ratio =
+  // Both operands are VisitedSet::memory_bytes() of their own mode: the
+  // ratio compares the exact-mode footprint against the fingerprint-mode
+  // footprint for the same state space (same dedupe_entries).
+  const double exact_over_fp =
       s.result.dedupe_bytes > 0
           ? static_cast<double>(e.result.dedupe_bytes) /
                 static_cast<double>(s.result.dedupe_bytes)
           : 0;
   const unsigned cores = std::thread::hardware_concurrency();
+
+  // Copy-cost evidence: a non-COW World copy materializes the entire state
+  // (~the canonical encoding length) on every fork; COW materializes only
+  // the detached blocks. bytes/state is the measure the refactor shrinks.
+  const auto per_state = [](const TimedExplore& t) {
+    return t.result.states_visited > 0
+               ? static_cast<double>(t.cow.bytes_copied) /
+                     static_cast<double>(t.result.states_visited)
+               : 0;
+  };
+  const double deep_copy_bytes_per_state =
+      s.result.states_visited > 0
+          ? static_cast<double>(s.cow.world_copies) *
+                static_cast<double>(s.state_bytes) /
+                static_cast<double>(s.result.states_visited)
+          : 0;
+  const double copy_reduction =
+      per_state(s) > 0 ? deep_copy_bytes_per_state / per_state(s) : 0;
 
   std::cout << "  CAS N=3 f=1 (states=" << s.result.states_visited << "):\n"
             << "    sequential: " << s.seconds << " s, 8 threads: "
@@ -258,20 +296,37 @@ void engine_benchmark() {
             << (counts_match ? "IDENTICAL to sequential" : "MISMATCH") << '\n'
             << "    visited-set memory: fingerprint=" << s.result.dedupe_bytes
             << " B, exact=" << e.result.dedupe_bytes << " B  -> "
-            << mem_ratio << "x smaller\n";
+            << exact_over_fp << "x smaller\n"
+            << "    COW copies: " << s.cow.world_copies << " world copies, "
+            << s.cow.detaches() << " detaches, " << per_state(s)
+            << " bytes copied/state (deep-copy equivalent "
+            << deep_copy_bytes_per_state << " -> " << copy_reduction
+            << "x less)\n";
 
-  auto run_json = [](const char* mode,
-                     const TimedExplore& t) -> benchjson::Json {
+  auto run_json = [&per_state](const char* mode,
+                               const TimedExplore& t) -> benchjson::Json {
     return benchjson::Json::object()
         .set("mode", mode)
         .set("seconds", t.seconds)
         .set("states_visited", t.result.states_visited)
+        .set("states_per_sec",
+             t.seconds > 0
+                 ? static_cast<double>(t.result.states_visited) / t.seconds
+                 : 0)
         .set("terminal_states", t.result.terminal_states)
         .set("transitions", t.result.transitions)
         .set("deduped", t.result.deduped)
         .set("ok", t.result.ok)
         .set("complete", t.result.complete)
-        .set("dedupe_bytes", t.result.dedupe_bytes);
+        // dedupe_bytes is in the units of THIS run's dedupe_mode; never
+        // compare it across records with different modes.
+        .set("dedupe_mode", t.result.exact_dedupe ? "exact" : "fingerprint")
+        .set("dedupe_entries", t.result.dedupe_entries)
+        .set("dedupe_bytes", t.result.dedupe_bytes)
+        .set("world_copies", t.cow.world_copies)
+        .set("cow_detaches", t.cow.detaches())
+        .set("cow_bytes_copied", t.cow.bytes_copied)
+        .set("cow_bytes_per_state", per_state(t));
   };
   benchjson::Json root = benchjson::Json::object();
   root.set("bench", "explore_exhaustive")
@@ -283,7 +338,11 @@ void engine_benchmark() {
                        .push(run_json("sequential_exact", e)))
       .set("parallel_counters_match_sequential", counts_match)
       .set("parallel_speedup_x", speedup)
-      .set("fingerprint_memory_reduction_x", mem_ratio);
+      .set("exact_over_fingerprint_dedupe_bytes_x", exact_over_fp)
+      .set("state_encoding_bytes", s.state_bytes)
+      .set("deep_copy_bytes_per_state", deep_copy_bytes_per_state)
+      .set("cow_copy_reduction_x", copy_reduction)
+      .set("peak_rss_kb", static_cast<std::uint64_t>(peak_rss_kb()));
   benchjson::write("explore_exhaustive", root);
 }
 

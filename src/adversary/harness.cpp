@@ -128,7 +128,9 @@ CriticalPointInfo find_critical_pair(
 
   Scheduler sched;
   engine::ExecutionDriver& exec = sched;
-  World prev = sut.world;  // snapshot of the current (1-valent) point
+  // COW snapshot of the current (1-valent) point: O(#processes) to take;
+  // only the blocks the next step touches are ever materialized.
+  World prev = sut.world;
   for (std::uint64_t steps = 0; steps < kRunCap; ++steps) {
     if (!exec.step(sut.world)) {
       // Quiesced without a valency flip: if the write terminated, the final

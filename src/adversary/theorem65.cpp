@@ -208,7 +208,7 @@ void deliver_writer_to_server(World& w, NodeId writer, NodeId server) {
 // (b_{j-1}, b_j] (1-based prefix ends; b_0 = 0).
 World build_point(const Staging& st, const std::vector<std::size_t>& sigma,
                   const std::vector<std::size_t>& b) {
-  World w = st.sut.world;
+  World w = st.sut.world;  // COW fork of P_0; staged deliveries detach lazily
   std::size_t lo = 0;
   for (std::size_t j = 0; j < b.size(); ++j) {
     MEMU_CHECK(b[j] <= st.live_servers.size());
@@ -233,7 +233,7 @@ World build_point(const Staging& st, const std::vector<std::size_t>& sigma,
 // metadata but no value bits), run a solo read fairly. Returns the value.
 std::optional<Value> directed_probe(const Staging& st, const World& at,
                                     std::size_t candidate) {
-  World w = at;
+  World w = at;  // COW fork: the probe never disturbs the staged point
   for (std::size_t wi = 0; wi < st.sut.writers.size(); ++wi) {
     if (wi == candidate) {
       w.unfreeze(st.sut.writers[wi]);
@@ -256,11 +256,11 @@ std::optional<Value> directed_probe(const Staging& st, const World& at,
       [base](const World& x) { return x.oplog().responses_since(base) >= 1; },
       kRunCap);
   if (!done) return std::nullopt;
-  const auto& events = w.oplog().events();
-  for (std::size_t i = base; i < events.size(); ++i) {
-    if (events[i].kind == OpEvent::Kind::kResponse &&
-        events[i].type == OpType::kRead)
-      return events[i].value;
+  const OpLog& log = w.oplog();
+  for (std::size_t i = base; i < log.size(); ++i) {
+    if (log[i].kind == OpEvent::Kind::kResponse &&
+        log[i].type == OpType::kRead)
+      return log[i].value;
   }
   return std::nullopt;
 }
@@ -311,6 +311,7 @@ StagedExecution run_staged_execution(const MwSutFactory& factory,
   out.completed = true;
 
   const World final_point = build_point(st, out.sigma, out.a);
+  out.final_state_encoding_bytes = final_point.canonical_encoding().size();
   const Bytes final_states = live_state_vector(final_point);
 
   BufWriter head;

@@ -102,6 +102,10 @@ struct StagedExecution {
   // coded elements), but NOT for overwriting storage like ABD, where the
   // final point has forgotten all but the tag-dominant value.
   Bytes single_point_signature;
+  // canonical_encoding().size() of the final point P_nu: what one deep copy
+  // of a staged world would cost. Benches use it as the baseline for the
+  // COW bytes-materialized-per-fork comparison. 0 unless `completed`.
+  std::size_t final_state_encoding_bytes = 0;
 };
 
 // Runs the full staged construction for one value tuple (values[i] is

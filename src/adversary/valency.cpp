@@ -1,6 +1,7 @@
 #include "adversary/valency.h"
 
 #include <string>
+#include <utility>
 
 #include "engine/scheduler.h"
 #include "engine/visited.h"
@@ -25,12 +26,14 @@ class ValencyExplorer {
     MEMU_CHECK_MSG(visited_.size() <= max_states_,
                    "exact valency probe exceeded its state budget");
 
-    // Did the read respond in this state?
-    const auto& events = w.oplog().events();
-    for (std::size_t i = base_events_; i < events.size(); ++i) {
-      if (events[i].kind == OpEvent::Kind::kResponse &&
-          events[i].type == OpType::kRead) {
-        values_.insert(events[i].value);
+    // Did the read respond in this state? Indexed access near the log's
+    // end is O(1) per event on the chunked oplog; flattening via events()
+    // would copy the whole history per visited state.
+    const OpLog& log = w.oplog();
+    for (std::size_t i = base_events_; i < log.size(); ++i) {
+      if (log[i].kind == OpEvent::Kind::kResponse &&
+          log[i].type == OpType::kRead) {
+        values_.insert(log[i].value);
         return;  // branch decided; no need to go deeper
       }
     }
@@ -56,17 +59,21 @@ class ValencyExplorer {
 
 std::optional<Value> probe_read(const World& at, NodeId writer, NodeId reader,
                                 const ProbeOptions& opt) {
-  World w = at;  // deep copy: the probe never disturbs the real execution
+  // COW fork: pointer bumps now, detaches only for what the probe's own
+  // steps touch — the probe never disturbs the real execution.
+  World w = at;
   w.freeze(writer);
 
   if (opt.flush_gossip) {
     // Deliver every pending server-to-server message (Definition 5.3 lets
-    // the inter-server channels act before the read is invoked).
+    // the inter-server channels act before the read is invoked). Const
+    // access for the is_server() queries: the non-const process() overload
+    // detaches shared COW blocks, which a read-only query must not force.
     for (;;) {
       bool delivered = false;
       for (const ChannelId chan : w.deliverable_channels()) {
-        if (w.process(chan.src).is_server() &&
-            w.process(chan.dst).is_server()) {
+        if (std::as_const(w).process(chan.src).is_server() &&
+            std::as_const(w).process(chan.dst).is_server()) {
           w.deliver(chan);
           delivered = true;
           break;  // channel list may have changed; re-enumerate
@@ -88,11 +95,11 @@ std::optional<Value> probe_read(const World& at, NodeId writer, NodeId reader,
       opt.max_steps);
   if (!done) return std::nullopt;
 
-  const auto& events = w.oplog().events();
-  for (std::size_t i = base_events; i < events.size(); ++i) {
-    if (events[i].kind == OpEvent::Kind::kResponse &&
-        events[i].type == OpType::kRead)
-      return events[i].value;
+  const OpLog& log = w.oplog();
+  for (std::size_t i = base_events; i < log.size(); ++i) {
+    if (log[i].kind == OpEvent::Kind::kResponse &&
+        log[i].type == OpType::kRead)
+      return log[i].value;
   }
   return std::nullopt;
 }
@@ -106,8 +113,8 @@ std::set<Value> probe_read_all_values(const World& at, NodeId writer,
     for (;;) {
       bool delivered = false;
       for (const ChannelId chan : w.deliverable_channels()) {
-        if (w.process(chan.src).is_server() &&
-            w.process(chan.dst).is_server()) {
+        if (std::as_const(w).process(chan.src).is_server() &&
+            std::as_const(w).process(chan.dst).is_server()) {
           w.deliver(chan);
           delivered = true;
           break;

@@ -18,19 +18,19 @@ void validate(const Params& p, std::size_t min_f) {
 // log2(|V| - 1), numerically exact for small B, and equal to B for large B
 // (where the difference underflows anyway).
 double log2_v_minus_1(const Params& p) {
-  if (p.log2_v > 50) return p.log2_v;
-  const double v = std::exp2(p.log2_v);
+  if (!p.v_exact()) return p.log2_v;
+  const double v = p.v();
   MEMU_CHECK_MSG(v >= 2, "|V| must be at least 2");
   return std::log2(v - 1);
 }
 
 // log2 C(|V| - 1, r) with |V| possibly astronomically large.
 double log2_binom_v_minus_1(const Params& p, std::size_t r) {
-  if (p.log2_v > 50) {
+  if (!p.v_exact()) {
     // M - i == M to double precision; C(M, r) = M^r / r!.
     return static_cast<double>(r) * p.log2_v - log2_factorial(r);
   }
-  const double m = std::exp2(p.log2_v) - 1;  // |V| - 1
+  const double m = p.v() - 1;  // |V| - 1
   MEMU_CHECK_MSG(m >= static_cast<double>(r),
                  "|V| - 1 must be at least nu*");
   double bits = -log2_factorial(r);
@@ -42,6 +42,15 @@ double log2_binom_v_minus_1(const Params& p, std::size_t r) {
 double nf(const Params& p) { return static_cast<double>(p.n - p.f); }
 
 }  // namespace
+
+double Params::v() const {
+  MEMU_CHECK_MSG(v_exact(),
+                 "|V| = 2^" << log2_v << " overflows a double (limit 2^"
+                            << kMaxExactLog2V
+                            << "); branch on v_exact() and use the "
+                               "log-domain forms instead");
+  return std::exp2(log2_v);
+}
 
 std::size_t nu_star(std::size_t nu, std::size_t f) {
   return std::min(nu, f + 1);

@@ -26,12 +26,25 @@ namespace memu::bounds {
 
 // System parameters. log2_v is B = log2|V| in bits.
 struct Params {
+  // Largest B for which |V| = 2^B is representable exactly enough in a
+  // double to subtract small integers from (2^53 is the integer-precision
+  // limit; 50 leaves headroom for the (|V| - 1 - i) factors the exact
+  // forms need). Above this the exact forms switch to asymptotics in B.
+  static constexpr double kMaxExactLog2V = 50;
+
   std::size_t n = 21;   // number of servers
   std::size_t f = 10;   // tolerated server failures
   double log2_v = 4096; // B = log2|V|
 
-  // |V| as a double (may be astronomically large; used in exact forms).
-  double v() const { return std::exp2(log2_v); }
+  // Whether |V| fits the exact finite-|V| forms; false means v() would
+  // overflow/lose the low-order structure the exact forms depend on (at
+  // the default B = 4096, exp2 is +inf outright).
+  bool v_exact() const { return log2_v <= kMaxExactLog2V; }
+
+  // |V| as a double. CHECK-fails unless v_exact(): callers must branch on
+  // v_exact() and use the log-domain asymptotic forms above the threshold
+  // instead of silently computing with +inf.
+  double v() const;
 };
 
 // nu* = min(nu, f + 1), the effective concurrency of Theorem 6.5.

@@ -9,7 +9,7 @@ namespace memu {
 History History::from_oplog(const OpLog& log) {
   History h;
   std::map<std::uint64_t, std::size_t> index;  // op_id -> position
-  for (const auto& e : log.events()) {
+  log.for_each([&](const OpEvent& e) {
     if (e.kind == OpEvent::Kind::kInvoke) {
       MEMU_CHECK_MSG(!index.contains(e.op_id), "duplicate invoke " << e.op_id);
       Operation op;
@@ -28,7 +28,7 @@ History History::from_oplog(const OpLog& log) {
       op.response_step = e.step;
       if (op.type == OpType::kRead) op.returned = e.value;
     }
-  }
+  });
   return h;
 }
 

@@ -1,5 +1,6 @@
 #include "engine/frontier.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
@@ -7,16 +8,23 @@
 #include <utility>
 
 #include "common/check.h"
+#include "engine/replay.h"
 #include "engine/visited.h"
 
 namespace memu::engine {
 
 namespace {
 
-// A frontier entry: a materialized state plus the delivery path that
-// produced it (the replayable counterexample prefix).
+// A compressed frontier entry: a shared base snapshot, the full delivery
+// path from the initial state (the replayable counterexample prefix), and
+// the number of leading path steps the base has already applied. The
+// node's World is not stored; popping it copies the base (COW — pointer
+// bumps) and replays path[base_depth, end) to reconstitute the state.
+// Bases are immutable once published: workers copy them, never mutate
+// them, so sharing one snapshot across threads is safe.
 struct Node {
-  World world;
+  std::shared_ptr<const World> base;
+  std::size_t base_depth = 0;
   std::vector<ExploreStep> path;
 };
 
@@ -30,7 +38,7 @@ class Search {
         visited_({opt.exact_dedupe, shard_count(opt)}) {}
 
   ExploreResult run(const World& initial) {
-    frontier_.push_back(Node{initial, {}});
+    frontier_.push_back(Node{std::make_shared<const World>(initial), 0, {}});
     if (opt_.threads <= 1) {
       run_sequential();
     } else {
@@ -44,6 +52,8 @@ class Search {
     result.deduped = deduped_.load();
     result.truncated = truncated_.load();
     result.dedupe_bytes = opt_.dedupe ? visited_.memory_bytes() : 0;
+    result.dedupe_entries = opt_.dedupe ? visited_.size() : 0;
+    result.exact_dedupe = opt_.exact_dedupe;
     result.complete = complete_.load() && !aborted_.load();
     {
       std::lock_guard<std::mutex> lock(violation_mu_);
@@ -71,9 +81,9 @@ class Search {
     if (opt_.stop_at_first_violation) aborted_.store(true);
   }
 
-  // Visits one frontier node: dedupe, bounds, invariant, terminal, and
-  // child generation. Children are passed to `emit` in deterministic
-  // (channel, index) order; the caller decides where they go.
+  // Visits one frontier node: reconstitution, dedupe, bounds, invariant,
+  // terminal, and child generation. Children are passed to `emit` in
+  // deterministic (channel, index) order; the caller decides where they go.
   template <class Emit>
   void visit(const Node& node, Emit&& emit) {
     // Entry bookkeeping. The recursive DFS incremented `transitions` once
@@ -81,8 +91,15 @@ class Search {
     // same totals in the same order, including under aborts.
     if (!node.path.empty()) transitions_.fetch_add(1);
 
+    // Materialize: COW copy of the base snapshot plus replay of the step
+    // suffix. Delivery is deterministic, so this World is state-identical
+    // (and canonical-encoding byte-identical) to the one the uncompressed
+    // frontier used to carry.
+    World world = *node.base;
+    replay(world, node.path, node.base_depth, node.path.size());
+
     if (opt_.dedupe) {
-      const Bytes key = node.world.canonical_encoding();
+      const Bytes key = world.canonical_encoding();
       if (visited_.contains(key)) {
         deduped_.fetch_add(1);
         return;
@@ -108,17 +125,17 @@ class Search {
     states_visited_.fetch_add(1);
 
     if (invariant_) {
-      if (const auto why = invariant_(node.world); why.has_value()) {
+      if (const auto why = invariant_(world); why.has_value()) {
         record_violation("invariant: " + *why, node.path);
         if (aborted_.load()) return;
       }
     }
 
-    const std::vector<ChannelId> chans = node.world.deliverable_channels();
+    const std::vector<ChannelId> chans = world.deliverable_channels();
     if (chans.empty()) {
       terminal_states_.fetch_add(1);
       if (terminal_) {
-        if (const auto why = terminal_(node.world); why.has_value())
+        if (const auto why = terminal_(world); why.has_value())
           record_violation("terminal: " + *why, node.path);
       }
       return;
@@ -128,12 +145,26 @@ class Search {
       return;
     }
 
+    // Snapshot promotion: once the suffix children would inherit reaches
+    // the interval, retain this node's materialized World as their base so
+    // no pop ever replays more than snapshot_interval steps.
+    std::shared_ptr<const World> base = node.base;
+    std::size_t base_depth = node.base_depth;
+    const std::size_t interval = std::max<std::size_t>(1, opt_.snapshot_interval);
+    if (node.path.size() - node.base_depth + 1 > interval) {
+      base = std::make_shared<const World>(std::move(world));
+      base_depth = node.path.size();
+    }
+
     for (const ChannelId chan : chans) {
+      // `world` may be moved-from here; child generation reads only `base`
+      // (when promoted) or the parent's queues via `probe`.
+      const World& probe = base_depth == node.path.size() ? *base : world;
       if (!opt_.reorder) {
         // First allowed index (may be > 0 under value/bulk blocks).
-        const std::size_t index = node.world.first_deliverable_index(chan);
+        const std::size_t index = probe.first_deliverable_index(chan);
         MEMU_CHECK(index != kNoIndex);
-        emit(make_child(node, chan, index));
+        emit(make_child(base, base_depth, node.path, chan, index));
         continue;
       }
       // Non-FIFO: branch over every deliverable position. Redundant
@@ -141,15 +172,17 @@ class Search {
       // states) merge in the visited set — payload-level merging here
       // would be unsound for non-adjacent duplicates, whose remaining
       // queue orders differ.
-      for (const std::size_t index : node.world.deliverable_indices(chan)) {
-        emit(make_child(node, chan, index));
+      for (const std::size_t index : probe.deliverable_indices(chan)) {
+        emit(make_child(base, base_depth, node.path, chan, index));
       }
     }
   }
 
-  static Node make_child(const Node& node, ChannelId chan, std::size_t index) {
-    Node child{node.world, node.path};  // deep copy
-    child.world.deliver(chan, index);
+  static Node make_child(const std::shared_ptr<const World>& base,
+                         std::size_t base_depth,
+                         const std::vector<ExploreStep>& path, ChannelId chan,
+                         std::size_t index) {
+    Node child{base, base_depth, path};
     child.path.push_back({chan, index});
     return child;
   }

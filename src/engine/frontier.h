@@ -2,11 +2,14 @@
 //
 // The original explorer was a recursive single-threaded DFS. The engine
 // replaces it with an iterative work-queue search over explicit frontier
-// nodes {World, path}: a LIFO frontier in sequential mode, which reproduces
-// the recursive DFS visit order (and therefore every counter and the first
+// nodes: a LIFO frontier in sequential mode, which reproduces the recursive
+// DFS visit order (and therefore every counter and the first
 // counterexample) exactly, and a shared work queue drained by a thread pool
-// in parallel mode. Deduplication runs through engine::VisitedSet — 64-bit
-// fingerprints by default, full encodings in opt-in exact mode.
+// in parallel mode. Frontier nodes are compressed — a node holds a shared
+// base World snapshot plus its ExploreStep suffix and is reconstituted via
+// engine::replay when popped (see ExploreOptions::snapshot_interval).
+// Deduplication runs through engine::VisitedSet — 64-bit fingerprints by
+// default, full encodings in opt-in exact mode.
 //
 // Parallel-mode guarantees: on a run that completes within its bounds with
 // no violation, states_visited, terminal_states, transitions, deduped, and
@@ -47,6 +50,14 @@ struct ExploreOptions {
   bool exact_dedupe = false;
   // Visited-set shards; 0 = auto (1 sequential, 64 parallel).
   std::size_t dedupe_shards = 0;
+  // Frontier node compression: a node stores a shared base snapshot plus
+  // the ExploreStep suffix past it, and is reconstituted by engine::replay
+  // when popped. A node whose suffix has reached this length promotes its
+  // materialized World to a fresh snapshot for its children, bounding the
+  // replay work per pop. Purely a space/time knob — visit order, counters,
+  // and canonical encodings are identical for any value. 0 behaves as 1
+  // (snapshot at every node).
+  std::size_t snapshot_interval = 8;
 };
 
 // One delivery along an exploration path.
@@ -61,7 +72,14 @@ struct ExploreResult {
   std::size_t transitions = 0;      // deliveries executed
   std::size_t deduped = 0;          // revisits merged away
   std::size_t truncated = 0;        // expansions rejected by max_states
-  std::size_t dedupe_bytes = 0;     // key bytes retained by the visited set
+  // Visited-set footprint, via VisitedSet::memory_bytes(): 8 bytes per
+  // entry in fingerprint mode, full encoding bytes plus string bookkeeping
+  // in exact mode. The two modes are NOT comparable byte-for-byte — check
+  // exact_dedupe before comparing across runs (bench emitters tag every
+  // record with its mode for exactly this reason).
+  std::size_t dedupe_bytes = 0;
+  std::size_t dedupe_entries = 0;  // states retained by the visited set
+  bool exact_dedupe = false;       // mode behind dedupe_bytes (see above)
   bool complete = false;  // the whole space fit within the bounds
   bool ok = true;         // no invariant/terminal violation found
   std::string violation;  // description of the first violation

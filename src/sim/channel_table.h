@@ -1,4 +1,5 @@
-// ChannelTable: dense per-(src, dst) storage for in-flight messages.
+// ChannelTable: dense per-(src, dst) storage for in-flight messages, with
+// copy-on-write queues.
 //
 // The World used to keep channels in a std::map<ChannelId, std::deque>,
 // which meant a tree walk per deliverability query and a node-allocating
@@ -7,13 +8,20 @@
 // that: slot src * n + dst holds a contiguous message vector, and a sorted
 // index of non-empty slots preserves the deterministic (src, dst) iteration
 // order the round-robin scheduler and the canonical encoding rely on.
+//
+// Queues are shared between copied tables via shared_ptr and detach only
+// when a push/pop hits a queue another copy still references, so copying a
+// table costs one refcount bump per non-empty slot instead of re-building
+// every queue. Empty slots hold nullptr and copy for free.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
+#include "sim/cow_stats.h"
 #include "sim/message.h"
 
 namespace memu {
@@ -30,7 +38,7 @@ class ChannelTable {
   // re-slotted; relative (src, dst) order is preserved.
   void resize_nodes(std::size_t n) {
     if (n <= nodes_) return;
-    std::vector<Queue> grown(n * n);
+    std::vector<QueueRef> grown(n * n);
     std::vector<std::uint32_t> active;
     active.reserve(active_.size());
     for (const std::uint32_t slot : active_) {
@@ -49,7 +57,7 @@ class ChannelTable {
 
   void push(ChannelId chan, Message msg) {
     const std::size_t slot = slot_of(chan);
-    Queue& q = slots_[slot];
+    Queue& q = mutable_queue(slot);
     if (q.empty()) activate(static_cast<std::uint32_t>(slot));
     q.push_back(std::move(msg));
   }
@@ -57,19 +65,22 @@ class ChannelTable {
   // Removes and returns the message at `index` on `chan`.
   Message pop(ChannelId chan, std::size_t index) {
     const std::size_t slot = slot_of(chan);
-    Queue& q = slots_[slot];
+    Queue& q = mutable_queue(slot);
     MEMU_CHECK(index < q.size());
     Message msg = std::move(q[index]);
     q.erase(q.begin() + static_cast<std::ptrdiff_t>(index));
-    if (q.empty()) deactivate(static_cast<std::uint32_t>(slot));
+    if (q.empty()) {
+      deactivate(static_cast<std::uint32_t>(slot));
+      slots_[slot].reset();  // empty slots copy for free
+    }
     return msg;
   }
 
   // Non-empty queue for `chan`, or nullptr.
   const Queue* find(ChannelId chan) const {
     if (chan.src.value >= nodes_ || chan.dst.value >= nodes_) return nullptr;
-    const Queue& q = slots_[chan.src.value * nodes_ + chan.dst.value];
-    return q.empty() ? nullptr : &q;
+    const QueueRef& q = slots_[chan.src.value * nodes_ + chan.dst.value];
+    return (q == nullptr || q->empty()) ? nullptr : q.get();
   }
 
   std::size_t depth(ChannelId chan) const {
@@ -81,14 +92,14 @@ class ChannelTable {
 
   std::size_t total_messages() const {
     std::size_t n = 0;
-    for (const std::uint32_t slot : active_) n += slots_[slot].size();
+    for (const std::uint32_t slot : active_) n += slots_[slot]->size();
     return n;
   }
 
   // Visits non-empty channels in ascending (src, dst) order.
   template <class Fn>
   void for_each_nonempty(Fn&& fn) const {
-    for (const std::uint32_t slot : active_) fn(chan_of(slot), slots_[slot]);
+    for (const std::uint32_t slot : active_) fn(chan_of(slot), *slots_[slot]);
   }
 
   ChannelId chan_of(std::uint32_t slot) const {
@@ -97,9 +108,27 @@ class ChannelTable {
   }
 
  private:
+  // Queues are shared between ChannelTable copies until one side mutates.
+  using QueueRef = std::shared_ptr<Queue>;
+
   std::size_t slot_of(ChannelId chan) const {
     MEMU_CHECK(chan.src.value < nodes_ && chan.dst.value < nodes_);
     return chan.src.value * nodes_ + chan.dst.value;
+  }
+
+  // The queue at `slot`, detached from any sharing copies. use_count() == 1
+  // here means this table is the sole owner: other Worlds can only reach
+  // the block through their own tables, so no concurrent re-acquisition is
+  // possible (the standard shared_ptr COW argument).
+  Queue& mutable_queue(std::size_t slot) {
+    QueueRef& q = slots_[slot];
+    if (q == nullptr) {
+      q = std::make_shared<Queue>();
+    } else if (q.use_count() > 1) {
+      cowstats::note_queue_detach(q->size() * sizeof(Message));
+      q = std::make_shared<Queue>(*q);
+    }
+    return *q;
   }
 
   void activate(std::uint32_t slot) {
@@ -114,7 +143,7 @@ class ChannelTable {
   }
 
   std::size_t nodes_ = 0;
-  std::vector<Queue> slots_;        // nodes_^2 queues, slot = src * n + dst
+  std::vector<QueueRef> slots_;        // nodes_^2 queues, slot = src * n + dst
   std::vector<std::uint32_t> active_;  // sorted slots with pending messages
 };
 

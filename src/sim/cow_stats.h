@@ -1,0 +1,92 @@
+// Copy-on-write instrumentation for World snapshots.
+//
+// World copies are O(#processes) pointer bumps: per-process state, channel
+// queues, and the oplog live behind shared immutable blocks that detach
+// (deep-copy) only when a mutation hits a block another World still
+// references. These process-wide counters record how often snapshots are
+// taken and how many bytes the detaches actually materialize, so the
+// explorer and proof-harness benches can report bytes-copied-per-state —
+// the cost the COW refactor exists to shrink.
+//
+// Counters are relaxed atomics: cheap on the hot path and safe under the
+// parallel frontier workers. They are cumulative per process; benches
+// reset() around the region they measure.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace memu::cowstats {
+
+// Snapshot of the counters (plain values, safe to copy around).
+struct Snapshot {
+  std::uint64_t world_copies = 0;     // World copy-constructions/assignments
+  std::uint64_t process_detaches = 0; // deep Process::clone() on first write
+  std::uint64_t queue_detaches = 0;   // channel queue copies on first write
+  // Sharing-forced oplog chunk chains. These copy ZERO bytes: the oplog is
+  // a persistent chunk chain, so a shared head chunk is frozen in place and
+  // a fresh chunk is linked in front of it (see sim/oplog.h).
+  std::uint64_t oplog_detaches = 0;
+  std::uint64_t bytes_copied = 0;     // bytes materialized by the detaches
+
+  std::uint64_t detaches() const {
+    return process_detaches + queue_detaches + oplog_detaches;
+  }
+
+  friend Snapshot operator-(Snapshot a, const Snapshot& b) {
+    a.world_copies -= b.world_copies;
+    a.process_detaches -= b.process_detaches;
+    a.queue_detaches -= b.queue_detaches;
+    a.oplog_detaches -= b.oplog_detaches;
+    a.bytes_copied -= b.bytes_copied;
+    return a;
+  }
+};
+
+namespace detail {
+inline std::atomic<std::uint64_t> world_copies{0};
+inline std::atomic<std::uint64_t> process_detaches{0};
+inline std::atomic<std::uint64_t> queue_detaches{0};
+inline std::atomic<std::uint64_t> oplog_detaches{0};
+inline std::atomic<std::uint64_t> bytes_copied{0};
+}  // namespace detail
+
+inline void note_world_copy() {
+  detail::world_copies.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void note_process_detach(std::uint64_t bytes) {
+  detail::process_detaches.fetch_add(1, std::memory_order_relaxed);
+  detail::bytes_copied.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+inline void note_queue_detach(std::uint64_t bytes) {
+  detail::queue_detaches.fetch_add(1, std::memory_order_relaxed);
+  detail::bytes_copied.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+inline void note_oplog_detach(std::uint64_t bytes) {
+  detail::oplog_detaches.fetch_add(1, std::memory_order_relaxed);
+  detail::bytes_copied.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+inline Snapshot snapshot() {
+  Snapshot s;
+  s.world_copies = detail::world_copies.load(std::memory_order_relaxed);
+  s.process_detaches =
+      detail::process_detaches.load(std::memory_order_relaxed);
+  s.queue_detaches = detail::queue_detaches.load(std::memory_order_relaxed);
+  s.oplog_detaches = detail::oplog_detaches.load(std::memory_order_relaxed);
+  s.bytes_copied = detail::bytes_copied.load(std::memory_order_relaxed);
+  return s;
+}
+
+inline void reset() {
+  detail::world_copies.store(0, std::memory_order_relaxed);
+  detail::process_detaches.store(0, std::memory_order_relaxed);
+  detail::queue_detaches.store(0, std::memory_order_relaxed);
+  detail::oplog_detaches.store(0, std::memory_order_relaxed);
+  detail::bytes_copied.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace memu::cowstats

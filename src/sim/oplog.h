@@ -2,16 +2,27 @@
 //
 // Clients record invocation and response events here; the consistency
 // checkers (atomicity / regularity) and the adversary's valency prober
-// consume it. The log lives inside the World so that cloned executions carry
-// their own diverging histories.
+// consume it. The log lives inside the World so that cloned executions
+// carry their own diverging histories.
+//
+// Storage is a persistent chain of small chunks (newest first). Copying an
+// OpLog (and therefore a World) is one refcount bump. Appending to a log
+// whose head chunk is shared with another copy never copies history: the
+// shared chunk is frozen in place and a fresh chunk is chained in front of
+// it, so a forked execution pays O(its own new events) no matter how long
+// the inherited history is. In-place appends happen only when the head
+// chunk is exclusively owned and below capacity.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/buffer.h"
+#include "common/check.h"
 #include "common/ids.h"
+#include "sim/cow_stats.h"
 
 namespace memu {
 
@@ -33,36 +44,114 @@ struct OpEvent {
 // Append-only event log.
 class OpLog {
  public:
-  void append(OpEvent e) { events_.push_back(std::move(e)); }
+  void append(OpEvent e) {
+    if (head_ == nullptr || head_.use_count() > 1 ||
+        head_->events.size() >= kChunkCapacity) {
+      if (head_ != nullptr && head_.use_count() > 1 &&
+          head_->events.size() < kChunkCapacity) {
+        // Sharing forced the chain; no bytes are copied — the shared chunk
+        // is simply frozen where it is.
+        cowstats::note_oplog_detach(0);
+      }
+      auto c = std::make_shared<Chunk>();
+      c->prev = head_;
+      c->base = size_;
+      head_ = std::move(c);
+    }
+    head_->events.push_back(std::move(e));
+    ++size_;
+  }
 
-  const std::vector<OpEvent>& events() const { return events_; }
-  std::size_t size() const { return events_.size(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Random access. O(1) near the end of the log, O(#chunks) worst case —
+  // cursor-style scans of recent events (the common pattern) stay cheap.
+  const OpEvent& operator[](std::size_t i) const {
+    MEMU_CHECK_MSG(i < size_, "oplog index " << i << " out of range");
+    const Chunk* c = head_.get();
+    while (c->base > i) c = c->prev.get();
+    return c->events[i - c->base];
+  }
+
+  const OpEvent& back() const {
+    MEMU_CHECK_MSG(size_ > 0, "back() on empty oplog");
+    return head_->events.back();
+  }
+
+  // In-order visit of every event: one O(#chunks) pointer collection, then
+  // a linear pass. The canonical World encoding iterates through this, so
+  // the emitted bytes are independent of the chunk layout.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    std::vector<const Chunk*> chain;
+    for (const Chunk* c = head_.get(); c != nullptr; c = c->prev.get())
+      chain.push_back(c);
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+      for (const OpEvent& e : (*it)->events) fn(e);
+  }
+
+  // Flattened snapshot of the whole log. O(n) copy — meant for checkers
+  // and tests; hot paths should use operator[], back(), or for_each().
+  std::vector<OpEvent> events() const {
+    std::vector<OpEvent> out;
+    out.reserve(size_);
+    for_each([&out](const OpEvent& e) { out.push_back(e); });
+    return out;
+  }
 
   // Whether operation `op_id` has a response event.
   bool responded(std::uint64_t op_id) const {
-    for (const auto& e : events_)
-      if (e.op_id == op_id && e.kind == OpEvent::Kind::kResponse) return true;
-    return false;
+    return find_response(op_id) != nullptr;
   }
 
   // The value returned by operation `op_id`, if it responded.
   std::optional<Bytes> response_value(std::uint64_t op_id) const {
-    for (const auto& e : events_)
-      if (e.op_id == op_id && e.kind == OpEvent::Kind::kResponse)
-        return e.value;
-    return std::nullopt;
+    const OpEvent* e = find_response(op_id);
+    if (e == nullptr) return std::nullopt;
+    return e->value;
   }
 
   // Number of responses after (and including) index `from`.
   std::size_t responses_since(std::size_t from) const {
     std::size_t n = 0;
-    for (std::size_t i = from; i < events_.size(); ++i)
-      if (events_[i].kind == OpEvent::Kind::kResponse) ++n;
+    for (const Chunk* c = head_.get();
+         c != nullptr && c->base + c->events.size() > from;
+         c = c->prev.get()) {
+      const std::size_t lo = from > c->base ? from - c->base : 0;
+      for (std::size_t i = lo; i < c->events.size(); ++i)
+        if (c->events[i].kind == OpEvent::Kind::kResponse) ++n;
+    }
     return n;
   }
 
  private:
-  std::vector<OpEvent> events_;
+  // Newest-first scan: responses live near the end of the log, and at most
+  // one response exists per op id, so direction does not change the result.
+  const OpEvent* find_response(std::uint64_t op_id) const {
+    for (const Chunk* c = head_.get(); c != nullptr; c = c->prev.get()) {
+      for (std::size_t i = c->events.size(); i-- > 0;) {
+        const OpEvent& e = c->events[i];
+        if (e.op_id == op_id && e.kind == OpEvent::Kind::kResponse)
+          return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  // A chunk is mutated only while exclusively owned (use_count() == 1);
+  // once any copy or a newer chunk references it, it is immutable, so the
+  // chain behaves as a persistent data structure.
+  struct Chunk {
+    std::shared_ptr<const Chunk> prev;  // older events, immutable
+    std::size_t base = 0;               // number of events before this chunk
+    std::vector<OpEvent> events;
+  };
+
+  static constexpr std::size_t kChunkCapacity = 8;
+
+  std::shared_ptr<Chunk> head_;
+  std::size_t size_ = 0;
 };
 
 }  // namespace memu

@@ -5,7 +5,11 @@
 // the Context, which the World supplies per step. Processes must be
 // deep-copyable via clone() — the adversary harness forks entire Worlds to
 // probe hypothetical extensions of an execution, exactly like the paper's
-// proofs extend an execution from a point.
+// proofs extend an execution from a point. Forked Worlds share process
+// blocks copy-on-write, so clone() runs not at fork time but on the first
+// mutation of a shared process (World::mutable_process); clone() must
+// therefore still copy ALL mutable state, and processes must not hold
+// internal aliases that make a cloned copy observe the original.
 #pragma once
 
 #include <memory>

@@ -23,7 +23,8 @@ std::uint64_t Context::next_op_id() { return world_.next_op_id(); }
 // ---- World ------------------------------------------------------------------
 
 World::World(const World& other)
-    : channels_(other.channels_),
+    : processes_(other.processes_),  // shared; detached on first mutation
+      channels_(other.channels_),
       crashed_(other.crashed_),
       frozen_(other.frozen_),
       value_blocked_(other.value_blocked_),
@@ -33,8 +34,7 @@ World::World(const World& other)
       trace_(other.trace_),
       step_count_(other.step_count_),
       next_op_id_(other.next_op_id_) {
-  processes_.reserve(other.processes_.size());
-  for (const auto& p : other.processes_) processes_.push_back(p->clone());
+  cowstats::note_world_copy();
 }
 
 World& World::operator=(const World& other) {
@@ -53,10 +53,22 @@ NodeId World::add_process(std::unique_ptr<Process> p) {
   return id;
 }
 
-Process& World::process(NodeId id) {
+Process& World::mutable_process(NodeId id) {
   MEMU_CHECK_MSG(id.value < processes_.size(), "unknown process " << id);
-  return *processes_[id.value];
+  std::shared_ptr<Process>& p = processes_[id.value];
+  // use_count() == 1 means this World is the sole owner: other Worlds can
+  // only reach the block through their own process vectors, so no thread
+  // can re-acquire it concurrently (the standard shared_ptr COW argument).
+  if (p.use_count() > 1) {
+    const StateBits s = p->state_size();
+    cowstats::note_process_detach(
+        static_cast<std::uint64_t>((s.total() + 7.0) / 8.0));
+    p = p->clone();
+  }
+  return *p;
 }
+
+Process& World::process(NodeId id) { return mutable_process(id); }
 
 const Process& World::process(NodeId id) const {
   MEMU_CHECK_MSG(id.value < processes_.size(), "unknown process " << id);
@@ -180,7 +192,7 @@ void World::deliver(ChannelId chan, std::size_t index) {
   if (dropped) return;  // dropped at a crashed node
 
   Context ctx(*this, chan.dst);
-  processes_[chan.dst.value]->on_message(ctx, chan.src, *msg.payload);
+  mutable_process(chan.dst).on_message(ctx, chan.src, *msg.payload);
 }
 
 void World::invoke(NodeId client, Invocation inv) {
@@ -188,7 +200,7 @@ void World::invoke(NodeId client, Invocation inv) {
   MEMU_CHECK_MSG(!crashed_.contains(client), "invocation at crashed " << client);
   ++step_count_;
   Context ctx(*this, client);
-  processes_[client.value]->on_invoke(ctx, inv);
+  mutable_process(client).on_invoke(ctx, inv);
 }
 
 StateBits World::total_server_storage() const {
@@ -204,6 +216,16 @@ StateBits World::max_server_storage() const {
     if (!p->is_server() || crashed_.contains(p->id())) continue;
     const StateBits s = p->state_size();
     if (s.total() > best.total()) best = s;
+  }
+  return best;
+}
+
+double World::max_server_value_bits() const {
+  double best = 0.0;
+  for (const auto& p : processes_) {
+    if (!p->is_server() || crashed_.contains(p->id())) continue;
+    const double v = p->state_size().value_bits;
+    if (v > best) best = v;
   }
   return best;
 }
@@ -229,14 +251,14 @@ Bytes World::canonical_encoding() const {
   encode_set(value_blocked_);
   encode_set(bulk_blocked_);
   w.u64(oplog_.size());
-  for (const auto& e : oplog_.events()) {
+  oplog_.for_each([&w](const OpEvent& e) {
     w.u8(static_cast<std::uint8_t>(e.kind));
     w.u32(e.client.value);
     w.u64(e.op_id);
     w.u8(static_cast<std::uint8_t>(e.type));
     w.bytes(e.value);
     // step deliberately omitted: log order alone determines precedence.
-  }
+  });
   return std::move(w).take();
 }
 

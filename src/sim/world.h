@@ -2,11 +2,16 @@
 // an execution — processes, in-flight channel contents, crash/freeze status,
 // the operation log, and a step counter.
 //
-// A World is deep-copyable. This mirrors the proof technique of the paper:
-// "extend execution alpha from point P" becomes "clone the World at P and
-// keep stepping the clone". Scheduling is external (see scheduler.h): the
-// World only exposes what is deliverable and applies chosen steps, so an
-// adversary has full control of asynchrony.
+// A World is logically deep-copyable. This mirrors the proof technique of
+// the paper: "extend execution alpha from point P" becomes "clone the World
+// at P and keep stepping the clone". Physically a copy is copy-on-write:
+// per-process state, channel queues, and the oplog sit behind shared blocks
+// that deep-copy only when one side mutates, so World(const World&) is
+// O(#processes) pointer bumps — the explorer and the valency probes fork
+// Worlds once per transition and would otherwise pay a full clone each time.
+// Scheduling is external (see scheduler.h): the World only exposes what is
+// deliverable and applies chosen steps, so an adversary has full control of
+// asynchrony.
 #pragma once
 
 #include <cstdint>
@@ -29,8 +34,10 @@ class World {
  public:
   World() = default;
 
-  // Deep copy: clones every process, copies channels (payloads shared —
-  // they are immutable), crash/freeze sets, oplog, counters, rng.
+  // Logically a deep copy; physically shares process, channel, and oplog
+  // blocks with `other` until either side mutates them (message payloads
+  // are immutable and always shared). Crash/freeze sets, trace, and
+  // counters are copied eagerly — they are flat and cheap.
   World(const World& other);
   World& operator=(const World& other);
   World(World&&) = default;
@@ -43,6 +50,8 @@ class World {
 
   std::size_t process_count() const { return processes_.size(); }
 
+  // Mutable access detaches the process from any sharing World copies
+  // (COW); use the const overload for read-only inspection.
   Process& process(NodeId id);
   const Process& process(NodeId id) const;
 
@@ -149,6 +158,11 @@ class World {
   // Max of state_size().total() over servers: MaxStorage at this point.
   StateBits max_server_storage() const;
 
+  // Max of state_size().value_bits over servers. The value-bit argmax
+  // server may differ from the total-bit argmax (a metadata-heavy server
+  // can dominate total()), so the meter tracks this measure separately.
+  double max_server_value_bits() const;
+
   // Bits currently in flight on channels (for channel-occupancy ablations).
   StateBits channel_bits() const;
 
@@ -168,7 +182,14 @@ class World {
   std::size_t first_allowed_index(ChannelId chan,
                                   const ChannelTable::Queue& queue) const;
 
-  std::vector<std::unique_ptr<Process>> processes_;
+  // The process at `id`, cloned off the shared block iff another World
+  // still references it. All mutating paths (deliver, invoke, non-const
+  // process()) go through here.
+  Process& mutable_process(NodeId id);
+
+  // Processes are shared between World copies until one side mutates
+  // (copy-on-write via mutable_process).
+  std::vector<std::shared_ptr<Process>> processes_;
   ChannelTable channels_;   // dense (src, dst)-indexed message queues
   NodeSet crashed_;         // flat bitsets: hot-path membership + cheap copy
   NodeSet frozen_;

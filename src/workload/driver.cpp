@@ -39,10 +39,11 @@ RunResult run(World& world, const std::vector<NodeId>& writers,
 
   sched.observe(world);
   for (std::uint64_t step = 0; step < opt.max_steps; ++step) {
-    // Absorb new oplog events: mark clients idle on response.
-    const auto& events = world.oplog().events();
-    for (; oplog_cursor < events.size(); ++oplog_cursor) {
-      const auto& e = events[oplog_cursor];
+    // Absorb new oplog events: mark clients idle on response. Cursor-style
+    // indexed access stays O(1) per event on the chunked oplog.
+    const OpLog& log = world.oplog();
+    for (; oplog_cursor < log.size(); ++oplog_cursor) {
+      const auto& e = log[oplog_cursor];
       const auto it = state.find(e.client);
       if (it == state.end()) continue;
       if (e.kind == OpEvent::Kind::kResponse) {
@@ -80,9 +81,9 @@ RunResult run(World& world, const std::vector<NodeId>& writers,
   }
 
   // Absorb any trailing events.
-  const auto& events = world.oplog().events();
-  for (; oplog_cursor < events.size(); ++oplog_cursor) {
-    const auto& e = events[oplog_cursor];
+  const OpLog& log = world.oplog();
+  for (; oplog_cursor < log.size(); ++oplog_cursor) {
+    const auto& e = log[oplog_cursor];
     const auto it = state.find(e.client);
     if (it == state.end()) continue;
     if (e.kind == OpEvent::Kind::kResponse) {

@@ -211,6 +211,29 @@ TEST(Bounds, TrichotomyClassification) {
   EXPECT_FALSE(v.below_replication);
 }
 
+TEST(Bounds, VOverflowTrap) {
+  // At the default B = 4096, exp2 overflows a double to +inf; v() must
+  // refuse instead of handing callers infinity.
+  const Params big{kN, kF, 4096};
+  EXPECT_FALSE(big.v_exact());
+  EXPECT_THROW(big.v(), ContractError);
+  EXPECT_THROW((Params{kN, kF, Params::kMaxExactLog2V + 1}.v()),
+               ContractError);
+
+  // Below the threshold v() is exact.
+  const Params small{kN, kF, 8};
+  EXPECT_TRUE(small.v_exact());
+  EXPECT_DOUBLE_EQ(small.v(), 256.0);
+  EXPECT_DOUBLE_EQ((Params{kN, kF, Params::kMaxExactLog2V}.v()),
+                   std::exp2(Params::kMaxExactLog2V));
+
+  // The exact theorem forms stay finite at the default B: their internal
+  // uses of |V| route through the guarded helpers' asymptotic branch.
+  EXPECT_TRUE(std::isfinite(thm_41_rhs(big)));
+  EXPECT_TRUE(std::isfinite(thm_51_rhs(big)));
+  EXPECT_TRUE(std::isfinite(thm_65_rhs(big, 3)));
+}
+
 TEST(Bounds, ParameterValidation) {
   EXPECT_THROW(singleton_total(Params{5, 5, 64}), ContractError);  // N == f
   EXPECT_THROW(singleton_normalized(5, 5), ContractError);

@@ -177,6 +177,72 @@ TEST(FrontierSearch, ExactDedupeMatchesFingerprintAndCostsMore) {
   EXPECT_GE(b.dedupe_bytes, 5 * a.dedupe_bytes);
 }
 
+TEST(FrontierSearch, AccountingIdentityHoldsUnderParallelTruncation) {
+  // Truncation under concurrency: workers race the max_states guard, so
+  // the exact cut point (and states_visited) may differ run to run — but
+  // every popped non-root node must still be classified exactly once, so
+  // the identity holds regardless of where the cap lands.
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    ExploreOptions opt;
+    opt.threads = threads;
+    opt.max_states = 50;  // well under the full ABD space
+    const auto r = explore_abd(opt);
+    EXPECT_FALSE(r.complete) << "threads=" << threads;
+    EXPECT_GT(r.truncated, 0u) << "threads=" << threads;
+    EXPECT_GE(r.states_visited, opt.max_states) << "threads=" << threads;
+    expect_accounting_identity(r);
+  }
+}
+
+TEST(FrontierSearch, SnapshotIntervalDoesNotChangeCountersOrOutcome) {
+  // Frontier compression is a space/time knob only: snapshotting at every
+  // node, at the default interval, and never (root snapshot + full-path
+  // replay) must produce identical counters and outcome.
+  ExploreOptions every;
+  every.snapshot_interval = 1;
+  ExploreOptions rarely;
+  rarely.snapshot_interval = 1000;
+  const auto a = explore_abd(ExploreOptions{});
+  const auto b = explore_abd(every);
+  const auto c = explore_abd(rarely);
+  for (const auto* r : {&b, &c}) {
+    EXPECT_EQ(a.states_visited, r->states_visited);
+    EXPECT_EQ(a.terminal_states, r->terminal_states);
+    EXPECT_EQ(a.transitions, r->transitions);
+    EXPECT_EQ(a.deduped, r->deduped);
+    EXPECT_EQ(a.complete, r->complete);
+    EXPECT_EQ(a.ok, r->ok);
+  }
+}
+
+TEST(FrontierSearch, DedupeFieldsReportTheRunsOwnMode) {
+  // dedupe_bytes is only meaningful relative to the run's mode; the result
+  // must carry the mode and the entry count so consumers (bench JSON)
+  // never compare fingerprint bytes against exact bytes.
+  ExploreOptions fp;
+  ExploreOptions exact;
+  exact.exact_dedupe = true;
+  const auto a = explore_abd(fp);
+  const auto b = explore_abd(exact);
+  EXPECT_FALSE(a.exact_dedupe);
+  EXPECT_TRUE(b.exact_dedupe);
+  EXPECT_EQ(a.dedupe_entries, a.states_visited);
+  EXPECT_EQ(b.dedupe_entries, b.states_visited);
+  EXPECT_EQ(a.dedupe_bytes, 8 * a.dedupe_entries);
+  EXPECT_GT(b.dedupe_bytes, 8 * b.dedupe_entries);
+
+  // Dedupe off: no visited set, so no entries and no bytes.
+  World w;
+  const NodeId x = w.add_process(std::make_unique<MarkSink>());
+  const NodeId y = w.add_process(std::make_unique<MarkSink>());
+  w.enqueue({x, y}, make_msg<Mark>(0));
+  ExploreOptions off;
+  off.dedupe = false;
+  const auto c = engine::frontier_search(w, off, {}, {});
+  EXPECT_EQ(c.dedupe_entries, 0u);
+  EXPECT_EQ(c.dedupe_bytes, 0u);
+}
+
 TEST(FrontierSearch, ParallelFindsTheSameInvariantViolation) {
   // Both modes must report a violation (parallel may find a different
   // witness, but ok/violation_path replayability hold in both).
