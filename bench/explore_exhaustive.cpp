@@ -14,8 +14,11 @@
 #include <sys/resource.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "algo/abd/system.h"
 #include "algo/cas/system.h"
@@ -30,6 +33,17 @@ namespace {
 using namespace memu;
 
 constexpr std::size_t kValueBytes = 12;
+
+// State-budget override for CI smoke runs: MEMU_EXPLORE_MAX_STATES caps the
+// expensive explorations so a Release bench-smoke job finishes in seconds.
+// Unset (the default) runs the full spaces the committed baselines record.
+std::size_t env_max_states(std::size_t def) {
+  if (const char* env = std::getenv("MEMU_EXPLORE_MAX_STATES")) {
+    const std::size_t v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return def;
+}
 
 void report(const std::string& name, const ExploreResult& r,
             bool expect_violation = false) {
@@ -182,7 +196,7 @@ void cas_exhaustive() {
   sys.world.invoke(sys.readers[0], {OpType::kRead, {}});
 
   ExploreOptions eopt;
-  eopt.max_states = 2'000'000;
+  eopt.max_states = env_max_states(2'000'000);
   const auto res = explore(
       sys.world, eopt, {},
       [&](const World& w) -> std::optional<std::string> {
@@ -242,7 +256,7 @@ TimedExplore timed_explore(const ExploreOptions& opt) {
 
 void engine_benchmark() {
   ExploreOptions base;
-  base.max_states = 2'000'000;
+  base.max_states = env_max_states(2'000'000);
 
   ExploreOptions seq = base;
   ExploreOptions par = base;
@@ -253,6 +267,18 @@ void engine_benchmark() {
   const TimedExplore s = timed_explore(seq);
   const TimedExplore p = timed_explore(par);
   const TimedExplore e = timed_explore(exact);
+
+  // Work-stealing scaling curve: the same space at 1/2/4/8 workers (the 1-
+  // and 8-thread points reuse the runs above). How far the curve climbs is
+  // bounded by the host's core count, recorded alongside.
+  std::vector<std::pair<std::size_t, const TimedExplore*>> scaling;
+  ExploreOptions two = base;
+  two.threads = 2;
+  ExploreOptions four = base;
+  four.threads = 4;
+  const TimedExplore t2 = timed_explore(two);
+  const TimedExplore t4 = timed_explore(four);
+  scaling = {{1, &s}, {2, &t2}, {4, &t4}, {8, &p}};
 
   const bool counts_match = s.result.states_visited == p.result.states_visited &&
                             s.result.terminal_states == p.result.terminal_states &&
@@ -326,8 +352,32 @@ void engine_benchmark() {
         .set("world_copies", t.cow.world_copies)
         .set("cow_detaches", t.cow.detaches())
         .set("cow_bytes_copied", t.cow.bytes_copied)
-        .set("cow_bytes_per_state", per_state(t));
+        .set("cow_bytes_per_state", per_state(t))
+        // Full serializations during the run: 0 in fingerprint mode (the
+        // incremental state hash replaces the per-node re-encode), one per
+        // popped node in exact mode.
+        .set("canonical_encodings", t.cow.canonical_encodings);
   };
+  benchjson::Json scaling_json = benchjson::Json::array();
+  for (const auto& [threads, t] : scaling) {
+    scaling_json.push(
+        benchjson::Json::object()
+            .set("threads", threads)
+            .set("seconds", t->seconds)
+            .set("states_per_sec",
+                 t->seconds > 0 ? static_cast<double>(
+                                      t->result.states_visited) /
+                                      t->seconds
+                                : 0)
+            .set("speedup_x", t->seconds > 0 ? s.seconds / t->seconds : 0));
+    std::cout << "    scaling: threads=" << threads << " " << t->seconds
+              << " s, "
+              << (t->seconds > 0
+                      ? static_cast<double>(t->result.states_visited) /
+                            t->seconds
+                      : 0)
+              << " states/s\n";
+  }
   benchjson::Json root = benchjson::Json::object();
   root.set("bench", "explore_exhaustive")
       .set("config", "cas_n3_f1_k1_write_read")
@@ -336,6 +386,7 @@ void engine_benchmark() {
                        .push(run_json("sequential_fingerprint", s))
                        .push(run_json("parallel8_fingerprint", p))
                        .push(run_json("sequential_exact", e)))
+      .set("scaling", scaling_json)
       .set("parallel_counters_match_sequential", counts_match)
       .set("parallel_speedup_x", speedup)
       .set("exact_over_fingerprint_dedupe_bytes_x", exact_over_fp)

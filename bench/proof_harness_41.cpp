@@ -10,6 +10,7 @@
 // algorithms the two coincide.
 #include <sys/resource.h>
 
+#include <chrono>
 #include <iostream>
 
 #include "adversary/harness.h"
@@ -22,6 +23,11 @@
 namespace {
 
 memu::benchjson::Json g_cases = memu::benchjson::Json::array();
+// Aggregate throughput across all cases: world forks (≈ probed states) per
+// second is the least-noisy per-run metric, so the regression gate tracks
+// the total rather than per-case wall times.
+double g_total_seconds = 0;
+std::uint64_t g_total_copies = 0;
 
 // What one deep copy would cost at the points the harness actually forks:
 // the post-crash, post-first-write quiesced world (the probes fork Q1/Q2
@@ -49,8 +55,17 @@ void run_case(const std::string& name, const memu::adversary::SutFactory& f,
   // replace (~the canonical encoding length of a forked world).
   const std::size_t state_bytes = representative_state_bytes(f);
   const memu::cowstats::Snapshot before = memu::cowstats::snapshot();
+  const auto t0 = std::chrono::steady_clock::now();
   const auto rep = memu::adversary::verify_pair_injectivity(f, domain, probe);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   const memu::cowstats::Snapshot cow = memu::cowstats::snapshot() - before;
+  // Forks (≈ probed states) per second: the harness's throughput measure.
+  const double forks_per_sec =
+      seconds > 0 ? static_cast<double>(cow.world_copies) / seconds : 0;
+  g_total_seconds += seconds;
+  g_total_copies += cow.world_copies;
   const bool holds = rep.certificate_log2 + 1e-9 >= rep.bound_log2;
   const double bytes_per_copy =
       cow.world_copies > 0 ? static_cast<double>(cow.bytes_copied) /
@@ -69,10 +84,13 @@ void run_case(const std::string& name, const memu::adversary::SutFactory& f,
             << (holds ? "  HOLDS" : "  VIOLATED")
             << "\n      COW: " << cow.world_copies << " forks, "
             << bytes_per_copy << " B materialized/fork (deep copy ~"
-            << state_bytes << " B -> " << copy_reduction << "x less)\n";
+            << state_bytes << " B -> " << copy_reduction << "x less)  ["
+            << seconds << " s, " << forks_per_sec << " forks/s]\n";
   g_cases.push(memu::benchjson::Json::object()
                    .set("case", name)
                    .set("gossip_variant", gossip_variant)
+                   .set("seconds", seconds)
+                   .set("forks_per_sec", forks_per_sec)
                    .set("pairs", rep.pairs)
                    .set("injective", rep.injective)
                    .set("all_found", rep.all_found)
@@ -124,6 +142,12 @@ int main() {
       memu::benchjson::Json::object()
           .set("bench", "proof_harness_41")
           .set("cases", g_cases)
+          .set("total_seconds", g_total_seconds)
+          .set("total_world_copies", g_total_copies)
+          .set("world_copies_per_sec",
+               g_total_seconds > 0
+                   ? static_cast<double>(g_total_copies) / g_total_seconds
+                   : 0)
           .set("peak_rss_kb", static_cast<std::uint64_t>(ru.ru_maxrss)));
   return 0;
 }

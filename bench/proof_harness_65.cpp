@@ -11,6 +11,7 @@
 //     and in a robust multi-point form for overwriting storage (ABD).
 #include <sys/resource.h>
 
+#include <chrono>
 #include <iostream>
 
 #include "adversary/theorem65.h"
@@ -21,6 +22,10 @@
 namespace {
 
 memu::benchjson::Json g_cases = memu::benchjson::Json::array();
+// Aggregate world-fork throughput across all cases, for the regression
+// gate (per-case wall times are too noisy to gate individually).
+double g_total_seconds = 0;
+std::uint64_t g_total_copies = 0;
 
 void run_case(const std::string& name,
               const memu::adversary::MwSutFactory& factory,
@@ -43,9 +48,17 @@ void run_case(const std::string& name,
           ? warmup.final_state_encoding_bytes
           : factory().world.canonical_encoding().size();
   const memu::cowstats::Snapshot before = memu::cowstats::snapshot();
+  const auto t0 = std::chrono::steady_clock::now();
   const auto r =
       memu::adversary::verify_staged_injectivity(factory, domain, nu);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   const memu::cowstats::Snapshot cow = memu::cowstats::snapshot() - before;
+  const double forks_per_sec =
+      seconds > 0 ? static_cast<double>(cow.world_copies) / seconds : 0;
+  g_total_seconds += seconds;
+  g_total_copies += cow.world_copies;
   const double bytes_per_copy =
       cow.world_copies > 0 ? static_cast<double>(cow.bytes_copied) /
                                  static_cast<double>(cow.world_copies)
@@ -65,9 +78,12 @@ void run_case(const std::string& name,
             << (r.single_point_injective ? "  INJECTIVE" : "  not injective")
             << "\n      COW: " << cow.world_copies << " forks, "
             << bytes_per_copy << " B materialized/fork (deep copy ~"
-            << state_bytes << " B -> " << copy_reduction << "x less)\n";
+            << state_bytes << " B -> " << copy_reduction << "x less)  ["
+            << seconds << " s, " << forks_per_sec << " forks/s]\n";
   g_cases.push(memu::benchjson::Json::object()
                    .set("case", name)
+                   .set("seconds", seconds)
+                   .set("forks_per_sec", forks_per_sec)
                    .set("nu", r.nu)
                    .set("tuples", r.tuples)
                    .set("span", r.live_servers)
@@ -136,6 +152,12 @@ int main() {
       memu::benchjson::Json::object()
           .set("bench", "proof_harness_65")
           .set("cases", g_cases)
+          .set("total_seconds", g_total_seconds)
+          .set("total_world_copies", g_total_copies)
+          .set("world_copies_per_sec",
+               g_total_seconds > 0
+                   ? static_cast<double>(g_total_copies) / g_total_seconds
+                   : 0)
           .set("peak_rss_kb", static_cast<std::uint64_t>(ru.ru_maxrss)));
   return 0;
 }

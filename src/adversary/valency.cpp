@@ -22,7 +22,7 @@ class ValencyExplorer {
         visited_({/*exact=*/true, /*shards=*/1}) {}
 
   void walk(const World& w) {
-    if (!visited_.insert(w.canonical_encoding())) return;
+    if (!visited_.try_insert(w.canonical_encoding())) return;
     MEMU_CHECK_MSG(visited_.size() <= max_states_,
                    "exact valency probe exceeded its state budget");
 

@@ -24,6 +24,12 @@ class BufWriter {
  public:
   BufWriter() = default;
 
+  // Writes into `reuse`'s storage: the buffer is cleared but its capacity
+  // is kept, so encode-measure loops (and the explorer's exact-dedupe path)
+  // recycle one allocation instead of growing a fresh vector per encoding.
+  // Retrieve the result with std::move(w).take().
+  explicit BufWriter(Bytes&& reuse) : out_(std::move(reuse)) { out_.clear(); }
+
   void u8(std::uint8_t v) { out_.push_back(v); }
 
   void u32(std::uint32_t v) {

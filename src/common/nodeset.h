@@ -24,25 +24,29 @@ class NodeSet {
     return w < words_.size() && ((words_[w] >> (id.value & 63)) & 1u) != 0;
   }
 
-  void insert(NodeId id) {
+  // True iff the set changed (id was not yet a member). The World's
+  // incremental state hash toggles a membership component exactly when a
+  // set actually changes, so insert/erase report it.
+  bool insert(NodeId id) {
     MEMU_CHECK(id.valid());
     const std::size_t w = id.value >> 6;
     if (w >= words_.size()) words_.resize(w + 1, 0);
     const std::uint64_t bit = std::uint64_t{1} << (id.value & 63);
-    if ((words_[w] & bit) == 0) {
-      words_[w] |= bit;
-      ++count_;
-    }
+    if ((words_[w] & bit) != 0) return false;
+    words_[w] |= bit;
+    ++count_;
+    return true;
   }
 
-  void erase(NodeId id) {
+  // True iff the set changed (id was a member).
+  bool erase(NodeId id) {
     const std::size_t w = id.value >> 6;
-    if (w >= words_.size()) return;
+    if (w >= words_.size()) return false;
     const std::uint64_t bit = std::uint64_t{1} << (id.value & 63);
-    if ((words_[w] & bit) != 0) {
-      words_[w] &= ~bit;
-      --count_;
-    }
+    if ((words_[w] & bit) == 0) return false;
+    words_[w] &= ~bit;
+    --count_;
+    return true;
   }
 
   std::size_t size() const { return count_; }

@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
+#include <chrono>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "engine/replay.h"
 #include "engine/visited.h"
 
@@ -38,11 +39,12 @@ class Search {
         visited_({opt.exact_dedupe, shard_count(opt)}) {}
 
   ExploreResult run(const World& initial) {
-    frontier_.push_back(Node{std::make_shared<const World>(initial), 0, {}});
+    Node root{std::make_shared<const World>(initial), 0, {}};
     if (opt_.threads <= 1) {
+      frontier_.push_back(std::move(root));
       run_sequential();
     } else {
-      run_parallel();
+      run_parallel(std::move(root));
     }
 
     ExploreResult result;
@@ -67,7 +69,7 @@ class Search {
  private:
   static std::size_t shard_count(const ExploreOptions& opt) {
     if (opt.dedupe_shards != 0) return opt.dedupe_shards;
-    return opt.threads > 1 ? 64 : 1;
+    return auto_shard_count(opt.threads);
   }
 
   void record_violation(const std::string& why,
@@ -79,6 +81,55 @@ class Search {
       violation_path_ = path;
     }
     if (opt_.stop_at_first_violation) aborted_.store(true);
+  }
+
+  // Classifies `world` against the visited set and the max_states budget.
+  // Returns true iff the caller should expand the state (fresh and within
+  // budget); otherwise the node has been counted as deduped or truncated.
+  // Fingerprint mode keys on World::state_hash() — the incremental hash
+  // maintained through every mutation — so NO canonical encoding (and no
+  // per-node serialization at all) happens here. Exact mode pays the full
+  // encoding, through one recycled thread-local buffer.
+  bool admit(const World& world) {
+    if (states_visited_.load() >= opt_.max_states) {
+      // Expansion budget exhausted: classify WITHOUT inserting — this
+      // state is never expanded, so a later re-encounter must not count
+      // as a dedupe merge (and could legitimately be expanded by a re-run
+      // with a larger budget).
+      bool seen;
+      if (opt_.exact_dedupe) {
+        Bytes& buf = encode_buffer();
+        world.encode_canonical(buf);
+        seen = visited_.contains(buf);
+      } else {
+        seen = visited_.contains(world.state_hash());
+      }
+      if (seen) {
+        deduped_.fetch_add(1);
+      } else {
+        complete_.store(false);
+        truncated_.fetch_add(1);
+      }
+      return false;
+    }
+    bool fresh;
+    if (opt_.exact_dedupe) {
+      Bytes& buf = encode_buffer();
+      world.encode_canonical(buf);
+      fresh = visited_.try_insert(buf);
+    } else {
+      fresh = visited_.try_insert(world.state_hash());
+    }
+    if (!fresh) deduped_.fetch_add(1);  // includes losing an insert race
+    return fresh;
+  }
+
+  static Bytes& encode_buffer() {
+    // One encode buffer per worker thread, reused across every visited
+    // node: exact mode serializes into warm capacity instead of growing a
+    // fresh Bytes per state.
+    static thread_local Bytes buf;
+    return buf;
   }
 
   // Visits one frontier node: reconstitution, dedupe, bounds, invariant,
@@ -99,24 +150,7 @@ class Search {
     replay(world, node.path, node.base_depth, node.path.size());
 
     if (opt_.dedupe) {
-      const Bytes key = world.canonical_encoding();
-      if (visited_.contains(key)) {
-        deduped_.fetch_add(1);
-        return;
-      }
-      if (states_visited_.load() >= opt_.max_states) {
-        // Expansion budget exhausted: do NOT insert into the visited set —
-        // this state was never expanded, so a later re-encounter must not
-        // count as a dedupe merge (and could legitimately be expanded by a
-        // re-run with a larger budget).
-        complete_.store(false);
-        truncated_.fetch_add(1);
-        return;
-      }
-      if (!visited_.insert(key)) {  // lost an insert race to a peer worker
-        deduped_.fetch_add(1);
-        return;
-      }
+      if (!admit(world)) return;
     } else if (states_visited_.load() >= opt_.max_states) {
       complete_.store(false);
       truncated_.fetch_add(1);
@@ -202,43 +236,102 @@ class Search {
     }
   }
 
-  // Parallel mode: a shared LIFO drained by a worker pool. `active_` counts
-  // in-flight visits so workers distinguish "frontier momentarily empty"
-  // from "search exhausted".
-  void run_parallel() {
+  // Parallel mode: per-worker deques with randomized work stealing. Each
+  // worker pops from the back of its OWN deque (LIFO — depth-first
+  // locality, children visited right after their parent) and pushes a
+  // visited node's children back in one batch under one uncontended lock.
+  // Only when its deque runs dry does a worker touch shared state: it
+  // scans victims in a per-worker pseudorandom order and steals the FRONT
+  // node of the first non-empty deque — the shallowest, largest-subtree
+  // node, so one steal buys the longest private runway. `in_flight_`
+  // counts nodes that exist (queued anywhere or being visited); children
+  // are added to it BEFORE their parent is retired, so it reaches 0 only
+  // when the search is exhausted — the termination signal, with no global
+  // queue, no condvar, and no lock on the happy path except the owner's
+  // own (uncontended) deque mutex.
+  //
+  // Counter guarantees are unchanged from the shared-queue engine: every
+  // generated node is popped exactly once by some worker, and dedupe is
+  // atomic per state, so states/terminals/transitions/deduped match the
+  // sequential run regardless of thread count or steal order.
+  struct WorkerDeque {
+    std::mutex mu;
+    std::vector<Node> nodes;  // back = owner end, front = steal end
+  };
+
+  void run_parallel(Node&& root) {
+    deques_.clear();
+    for (std::size_t i = 0; i < opt_.threads; ++i)
+      deques_.push_back(std::make_unique<WorkerDeque>());
+    in_flight_.store(1);
+    deques_[0]->nodes.push_back(std::move(root));
+
     std::vector<std::thread> workers;
     workers.reserve(opt_.threads);
     for (std::size_t i = 0; i < opt_.threads; ++i)
-      workers.emplace_back([this] { worker(); });
+      workers.emplace_back([this, i] { worker(i); });
     for (auto& w : workers) w.join();
   }
 
-  void worker() {
-    std::unique_lock<std::mutex> lock(frontier_mu_);
+  bool try_pop_local(std::size_t id, Node& out) {
+    WorkerDeque& d = *deques_[id];
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (d.nodes.empty()) return false;
+    out = std::move(d.nodes.back());
+    d.nodes.pop_back();
+    return true;
+  }
+
+  bool try_steal(std::size_t id, std::uint64_t& rng, Node& out) {
+    const std::size_t n = deques_.size();
+    rng = mix64(rng + 0x9e3779b97f4a7c15ull);
+    const std::size_t start = rng % n;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t victim = (start + k) % n;
+      if (victim == id) continue;
+      WorkerDeque& d = *deques_[victim];
+      std::lock_guard<std::mutex> lock(d.mu);
+      if (d.nodes.empty()) continue;
+      out = std::move(d.nodes.front());
+      d.nodes.erase(d.nodes.begin());
+      return true;
+    }
+    return false;
+  }
+
+  void worker(std::size_t id) {
+    std::uint64_t rng = mix64(id ^ 0xd6e8feb86659fd93ull);
+    std::vector<Node> children;
+    std::size_t idle = 0;
     for (;;) {
-      frontier_cv_.wait(lock, [this] {
-        return aborted_.load() || !frontier_.empty() || active_ == 0;
-      });
-      if (aborted_.load() || (frontier_.empty() && active_ == 0)) {
-        frontier_cv_.notify_all();
-        return;
+      if (aborted_.load()) return;
+      Node node;
+      if (!try_pop_local(id, node) && !try_steal(id, rng, node)) {
+        if (in_flight_.load() == 0) return;  // nothing queued, nothing running
+        // Brief spin, then sleep: on saturated hardware (or 1 core) idle
+        // thieves must yield the CPU to whoever holds the work.
+        if (++idle < 16) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+        continue;
       }
-      if (frontier_.empty()) continue;  // raced with another worker
+      idle = 0;
 
-      const Node node = std::move(frontier_.back());
-      frontier_.pop_back();
-      ++active_;
-      lock.unlock();
-
-      std::vector<Node> children;
+      children.clear();
       visit(node, [&](Node&& child) { children.push_back(std::move(child)); });
 
-      lock.lock();
-      --active_;
-      for (auto it = children.rbegin(); it != children.rend(); ++it)
-        frontier_.push_back(std::move(*it));
-      if (!children.empty() || frontier_.empty() || aborted_.load())
-        frontier_cv_.notify_all();
+      if (!children.empty()) {
+        // Publish children before retiring the parent so in_flight_ never
+        // touches 0 mid-expansion.
+        in_flight_.fetch_add(children.size());
+        WorkerDeque& d = *deques_[id];
+        std::lock_guard<std::mutex> lock(d.mu);
+        for (auto it = children.rbegin(); it != children.rend(); ++it)
+          d.nodes.push_back(std::move(*it));
+      }
+      in_flight_.fetch_sub(1);
     }
   }
 
@@ -247,10 +340,9 @@ class Search {
   const StateCheck& terminal_;
   VisitedSet visited_;
 
-  std::vector<Node> frontier_;
-  std::mutex frontier_mu_;
-  std::condition_variable frontier_cv_;
-  std::size_t active_ = 0;  // nodes being visited (guarded by frontier_mu_)
+  std::vector<Node> frontier_;  // sequential mode only
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;  // parallel mode only
+  std::atomic<std::size_t> in_flight_{0};  // queued + executing nodes
 
   std::atomic<std::size_t> states_visited_{0};
   std::atomic<std::size_t> terminal_states_{0};

@@ -4,12 +4,17 @@
 // replaces it with an iterative work-queue search over explicit frontier
 // nodes: a LIFO frontier in sequential mode, which reproduces the recursive
 // DFS visit order (and therefore every counter and the first
-// counterexample) exactly, and a shared work queue drained by a thread pool
-// in parallel mode. Frontier nodes are compressed — a node holds a shared
-// base World snapshot plus its ExploreStep suffix and is reconstituted via
-// engine::replay when popped (see ExploreOptions::snapshot_interval).
-// Deduplication runs through engine::VisitedSet — 64-bit fingerprints by
-// default, full encodings in opt-in exact mode.
+// counterexample) exactly, and per-worker deques with randomized work
+// stealing in parallel mode (owners pop LIFO from their own deque and
+// batch-push children locally; idle workers steal the shallowest node from
+// a random victim; termination is a single in-flight node counter).
+// Frontier nodes are compressed — a node holds a shared base World snapshot
+// plus its ExploreStep suffix and is reconstituted via engine::replay when
+// popped (see ExploreOptions::snapshot_interval). Deduplication runs
+// through engine::VisitedSet — keyed on World::state_hash(), the 64-bit
+// incremental fingerprint maintained through every mutation, so the default
+// mode performs zero canonical encodings per visited state; opt-in exact
+// mode keys on full canonical encodings instead.
 //
 // Parallel-mode guarantees: on a run that completes within its bounds with
 // no violation, states_visited, terminal_states, transitions, deduped, and
@@ -45,10 +50,13 @@ struct ExploreOptions {
   // Worker threads; 1 = sequential (DFS-order identical to the seed
   // explorer). With more threads the frontier is drained concurrently.
   std::size_t threads = 1;
-  // Store full canonical encodings in the visited set instead of 64-bit
-  // fingerprints (collision-paranoid mode; ~encoding-length x the memory).
+  // Store full canonical encodings in the visited set instead of the
+  // incremental 64-bit state hash (collision-paranoid mode; pays one
+  // canonical encoding per visited state and ~encoding-length x the
+  // memory).
   bool exact_dedupe = false;
-  // Visited-set shards; 0 = auto (1 sequential, 64 parallel).
+  // Visited-set shards; 0 = auto (engine::auto_shard_count — 1 when
+  // sequential, scaling with the thread count in parallel mode).
   std::size_t dedupe_shards = 0;
   // Frontier node compression: a node stores a shared base snapshot plus
   // the ExploreStep suffix past it, and is reconstituted by engine::replay
@@ -57,7 +65,13 @@ struct ExploreOptions {
   // replay work per pop. Purely a space/time knob — visit order, counters,
   // and canonical encodings are identical for any value. 0 behaves as 1
   // (snapshot at every node).
-  std::size_t snapshot_interval = 8;
+  //
+  // Default 1: COW snapshots are pointer bumps, so re-delivering even one
+  // replay step costs more than snapshotting — measured ~3x throughput
+  // over the old default of 8 once the per-node canonical encoding was
+  // gone. Raise it to trade time for memory on breadth-heavy searches
+  // where many queued nodes keep their base snapshots alive.
+  std::size_t snapshot_interval = 1;
 };
 
 // One delivery along an exploration path.

@@ -11,15 +11,7 @@ VisitedSet::VisitedSet(const Options& opt) : exact_(opt.exact) {
     shards_.push_back(std::make_unique<Shard>());
 }
 
-bool VisitedSet::contains(const Bytes& key) const {
-  const std::uint64_t fp = fingerprint64(key);
-  Shard& s = shard_for(fp);
-  std::lock_guard<std::mutex> lock(s.mu);
-  if (!exact_) return s.fingerprints.contains(fp);
-  return s.exact.contains(std::string(key.begin(), key.end()));
-}
-
-bool VisitedSet::insert(const Bytes& key) {
+bool VisitedSet::try_insert(const Bytes& key) {
   const std::uint64_t fp = fingerprint64(key);
   Shard& s = shard_for(fp);
   std::lock_guard<std::mutex> lock(s.mu);
@@ -31,6 +23,30 @@ bool VisitedSet::insert(const Bytes& key) {
   const bool fresh = s.exact.insert(std::string(key.begin(), key.end())).second;
   if (fresh) s.key_bytes += key.size() + sizeof(std::string);
   return fresh;
+}
+
+bool VisitedSet::try_insert(std::uint64_t fp) {
+  MEMU_CHECK_MSG(!exact_, "fingerprint insert into an exact-mode VisitedSet");
+  Shard& s = shard_for(fp);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const bool fresh = s.fingerprints.insert(fp).second;
+  if (fresh) s.key_bytes += sizeof(std::uint64_t);
+  return fresh;
+}
+
+bool VisitedSet::contains(const Bytes& key) const {
+  const std::uint64_t fp = fingerprint64(key);
+  Shard& s = shard_for(fp);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!exact_) return s.fingerprints.contains(fp);
+  return s.exact.contains(std::string(key.begin(), key.end()));
+}
+
+bool VisitedSet::contains(std::uint64_t fp) const {
+  MEMU_CHECK_MSG(!exact_, "fingerprint lookup in an exact-mode VisitedSet");
+  Shard& s = shard_for(fp);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.fingerprints.contains(fp);
 }
 
 std::size_t VisitedSet::size() const {

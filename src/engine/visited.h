@@ -8,8 +8,14 @@
 // lock. An opt-in exact mode keeps the full bytes for collision-paranoid
 // runs (a fingerprint collision would silently merge two distinct states;
 // at 64 bits the expected collision count for S states is ~S^2 / 2^65).
+//
+// Membership-then-insert is a single operation: try_insert() probes the
+// hash table once and reports whether the key was fresh, so the frontier's
+// hot path has no contains()+insert() double lookup and no lost-race
+// branch. contains() remains for tests and read-only queries.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -22,6 +28,16 @@
 
 namespace memu::engine {
 
+// Visited-set shards for `threads` concurrent inserters: 1 when
+// sequential; otherwise the next power of two of 8x the thread count
+// (so ~1/8 expected contention per probe even if hashing is momentarily
+// unbalanced), capped at 1024 to bound per-set fixed cost. Used by the
+// frontier's auto mode (ExploreOptions::dedupe_shards == 0).
+inline std::size_t auto_shard_count(std::size_t threads) {
+  if (threads <= 1) return 1;
+  return std::min<std::size_t>(std::bit_ceil(8 * threads), 1024);
+}
+
 class VisitedSet {
  public:
   struct Options {
@@ -31,13 +47,22 @@ class VisitedSet {
 
   explicit VisitedSet(const Options& opt);
 
-  // True when `key` has already been inserted. (A fingerprint collision in
-  // non-exact mode reports a false positive; see header comment.)
-  bool contains(const Bytes& key) const;
+  // Inserts `key`; returns true iff it was not already present (one table
+  // probe). Safe to call concurrently: for any set of racing inserters of
+  // the same key, exactly one observes "fresh". A fingerprint collision in
+  // non-exact mode reports a false "already present"; see header comment.
+  bool try_insert(const Bytes& key);
 
-  // Inserts `key`; returns true iff it was not already present. Safe to
-  // call concurrently from multiple threads.
-  bool insert(const Bytes& key);
+  // Fingerprint-direct insert: the caller already holds the 64-bit state
+  // fingerprint (World::state_hash()), so nothing is encoded or hashed
+  // here. Fingerprint mode only (contract violation in exact mode — a raw
+  // fingerprint cannot be compared against full encodings).
+  bool try_insert(std::uint64_t fp);
+
+  // Read-only membership (same probe; kept for tests and for paths that
+  // must not insert, e.g. classifying cap-rejected states).
+  bool contains(const Bytes& key) const;
+  bool contains(std::uint64_t fp) const;  // fingerprint mode only
 
   std::size_t size() const;
 

@@ -21,8 +21,10 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "sim/cow_stats.h"
 #include "sim/message.h"
+#include "sim/state_hash.h"
 
 namespace memu {
 
@@ -56,10 +58,20 @@ class ChannelTable {
   std::size_t node_count() const { return nodes_; }
 
   void push(ChannelId chan, Message msg) {
+    // The payload fingerprint is computed exactly once per send — queue
+    // hash folds and the World's incremental state hash reuse it for the
+    // message's whole in-flight lifetime (including across COW copies).
+    if (msg.payload_fp == 0)
+      msg.payload_fp = fingerprint64(msg.payload->encode());
     const std::size_t slot = slot_of(chan);
     Queue& q = mutable_queue(slot);
-    if (q.empty()) activate(static_cast<std::uint32_t>(slot));
+    if (q.empty()) {
+      activate(static_cast<std::uint32_t>(slot));
+    } else {
+      content_hash_ ^= slot_component(chan, q);
+    }
     q.push_back(std::move(msg));
+    content_hash_ ^= slot_component(chan, q);
   }
 
   // Removes and returns the message at `index` on `chan`.
@@ -67,13 +79,38 @@ class ChannelTable {
     const std::size_t slot = slot_of(chan);
     Queue& q = mutable_queue(slot);
     MEMU_CHECK(index < q.size());
+    content_hash_ ^= slot_component(chan, q);
     Message msg = std::move(q[index]);
     q.erase(q.begin() + static_cast<std::ptrdiff_t>(index));
     if (q.empty()) {
       deactivate(static_cast<std::uint32_t>(slot));
       slots_[slot].reset();  // empty slots copy for free
+    } else {
+      content_hash_ ^= slot_component(chan, q);
     }
     return msg;
+  }
+
+  // Incremental 64-bit hash of the full channel contents: XOR over
+  // non-empty channels of a keyed fold of their message fingerprints, in
+  // queue order. Maintained in O(queue depth) per push/pop; a component of
+  // World::state_hash(). Keys depend on (src, dst), not the slot index, so
+  // resize_nodes() leaves the hash unchanged.
+  std::uint64_t content_hash() const { return content_hash_; }
+
+  // O(total payload bytes) from-scratch recomputation — the differential-
+  // test oracle for the incremental hash. Deliberately re-encodes every
+  // payload instead of trusting the cached per-message fingerprints, so a
+  // stale or miscomputed cache shows up as a mismatch.
+  std::uint64_t recompute_content_hash() const {
+    std::uint64_t h = 0;
+    for_each_nonempty([&h](ChannelId chan, const Queue& q) {
+      std::uint64_t fold = statehash::kQueueFoldSeed;
+      for (const Message& m : q)
+        fold = mix64(fold ^ fingerprint64(m.payload->encode()));
+      h ^= mix64(statehash::chan_key(chan.src.value, chan.dst.value) ^ fold);
+    });
+    return h;
   }
 
   // Non-empty queue for `chan`, or nullptr.
@@ -111,6 +148,21 @@ class ChannelTable {
   // Queues are shared between ChannelTable copies until one side mutates.
   using QueueRef = std::shared_ptr<Queue>;
 
+  // Order-sensitive fold of a queue's message fingerprints: each step
+  // mixes, so [a, b] and [b, a] fold differently and the fold length is
+  // implicit. O(depth) — refolded on every push/pop of the queue, using
+  // the fingerprints cached at enqueue (no payload re-encode).
+  static std::uint64_t fold_queue(const Queue& q) {
+    std::uint64_t h = statehash::kQueueFoldSeed;
+    for (const Message& m : q) h = mix64(h ^ m.payload_fp);
+    return h;
+  }
+
+  static std::uint64_t slot_component(ChannelId chan, const Queue& q) {
+    return mix64(statehash::chan_key(chan.src.value, chan.dst.value) ^
+                 fold_queue(q));
+  }
+
   std::size_t slot_of(ChannelId chan) const {
     MEMU_CHECK(chan.src.value < nodes_ && chan.dst.value < nodes_);
     return chan.src.value * nodes_ + chan.dst.value;
@@ -145,6 +197,7 @@ class ChannelTable {
   std::size_t nodes_ = 0;
   std::vector<QueueRef> slots_;        // nodes_^2 queues, slot = src * n + dst
   std::vector<std::uint32_t> active_;  // sorted slots with pending messages
+  std::uint64_t content_hash_ = 0;     // incremental; see content_hash()
 };
 
 }  // namespace memu

@@ -28,6 +28,10 @@ struct Snapshot {
   // a fresh chunk is linked in front of it (see sim/oplog.h).
   std::uint64_t oplog_detaches = 0;
   std::uint64_t bytes_copied = 0;     // bytes materialized by the detaches
+  // Full canonical_encoding() serializations. The incremental state hash
+  // exists so the fingerprint-mode explorer performs ZERO of these per
+  // node; tests and benches pin that via this counter.
+  std::uint64_t canonical_encodings = 0;
 
   std::uint64_t detaches() const {
     return process_detaches + queue_detaches + oplog_detaches;
@@ -39,6 +43,7 @@ struct Snapshot {
     a.queue_detaches -= b.queue_detaches;
     a.oplog_detaches -= b.oplog_detaches;
     a.bytes_copied -= b.bytes_copied;
+    a.canonical_encodings -= b.canonical_encodings;
     return a;
   }
 };
@@ -49,6 +54,7 @@ inline std::atomic<std::uint64_t> process_detaches{0};
 inline std::atomic<std::uint64_t> queue_detaches{0};
 inline std::atomic<std::uint64_t> oplog_detaches{0};
 inline std::atomic<std::uint64_t> bytes_copied{0};
+inline std::atomic<std::uint64_t> canonical_encodings{0};
 }  // namespace detail
 
 inline void note_world_copy() {
@@ -70,6 +76,10 @@ inline void note_oplog_detach(std::uint64_t bytes) {
   detail::bytes_copied.fetch_add(bytes, std::memory_order_relaxed);
 }
 
+inline void note_canonical_encoding() {
+  detail::canonical_encodings.fetch_add(1, std::memory_order_relaxed);
+}
+
 inline Snapshot snapshot() {
   Snapshot s;
   s.world_copies = detail::world_copies.load(std::memory_order_relaxed);
@@ -78,6 +88,8 @@ inline Snapshot snapshot() {
   s.queue_detaches = detail::queue_detaches.load(std::memory_order_relaxed);
   s.oplog_detaches = detail::oplog_detaches.load(std::memory_order_relaxed);
   s.bytes_copied = detail::bytes_copied.load(std::memory_order_relaxed);
+  s.canonical_encodings =
+      detail::canonical_encodings.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -87,6 +99,7 @@ inline void reset() {
   detail::queue_detaches.store(0, std::memory_order_relaxed);
   detail::oplog_detaches.store(0, std::memory_order_relaxed);
   detail::bytes_copied.store(0, std::memory_order_relaxed);
+  detail::canonical_encodings.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace memu::cowstats

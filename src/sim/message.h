@@ -62,6 +62,12 @@ struct Message {
   ChannelId chan;
   MessagePtr payload;
   std::uint64_t send_step = 0;
+  // Fingerprint of payload->encode(), computed once at enqueue
+  // (ChannelTable::push) and carried with the message ever after — the
+  // World's incremental state hash folds queues over these instead of
+  // re-encoding payloads. 0 means "not yet computed" (a zero fingerprint
+  // from fingerprint64 is one-in-2^64; push recomputes it harmlessly).
+  std::uint64_t payload_fp = 0;
 };
 
 // Convenience factory: make_msg<AbdQuery>(args...) -> MessagePtr.

@@ -21,8 +21,10 @@
 
 #include "common/buffer.h"
 #include "common/check.h"
+#include "common/hash.h"
 #include "common/ids.h"
 #include "sim/cow_stats.h"
+#include "sim/state_hash.h"
 
 namespace memu {
 
@@ -45,6 +47,12 @@ struct OpEvent {
 class OpLog {
  public:
   void append(OpEvent e) {
+    // Position-keyed component: the log is append-only, so the hash folds
+    // each event in exactly once, in O(1), at its final index. `step` is
+    // excluded, mirroring the canonical World encoding (log order alone
+    // carries precedence).
+    content_hash_ ^= statehash::component(statehash::kOplogSeed, size_,
+                                          event_fp(e));
     if (head_ == nullptr || head_.use_count() > 1 ||
         head_->events.size() >= kChunkCapacity) {
       if (head_ != nullptr && head_.use_count() > 1 &&
@@ -64,6 +72,22 @@ class OpLog {
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  // Incremental 64-bit hash of the event sequence (kind, client, op id,
+  // type, value — step excluded, like the canonical encoding). A component
+  // of World::state_hash(); equal logs hash equally regardless of chunk
+  // layout, since components are keyed by logical index.
+  std::uint64_t content_hash() const { return content_hash_; }
+
+  // O(n) from-scratch recomputation — the differential-test oracle.
+  std::uint64_t recompute_content_hash() const {
+    std::uint64_t h = 0;
+    std::size_t i = 0;
+    for_each([&](const OpEvent& e) {
+      h ^= statehash::component(statehash::kOplogSeed, i++, event_fp(e));
+    });
+    return h;
+  }
 
   // Random access. O(1) near the end of the log, O(#chunks) worst case —
   // cursor-style scans of recent events (the common pattern) stay cheap.
@@ -126,6 +150,16 @@ class OpLog {
   }
 
  private:
+  // Content fingerprint of one event, field-mixed without serialization.
+  // Deliberately omits e.step (not part of the canonical state).
+  static std::uint64_t event_fp(const OpEvent& e) {
+    std::uint64_t h = mix64(static_cast<std::uint64_t>(e.kind) |
+                            (std::uint64_t{e.client.value} << 8) |
+                            (static_cast<std::uint64_t>(e.type) << 40));
+    h = mix64(h ^ e.op_id);
+    return mix64(h ^ fingerprint64(e.value));
+  }
+
   // Newest-first scan: responses live near the end of the log, and at most
   // one response exists per op id, so direction does not change the result.
   const OpEvent* find_response(std::uint64_t op_id) const {
@@ -152,6 +186,7 @@ class OpLog {
 
   std::shared_ptr<Chunk> head_;
   std::size_t size_ = 0;
+  std::uint64_t content_hash_ = 0;  // incremental; see content_hash()
 };
 
 }  // namespace memu

@@ -83,7 +83,10 @@ class Process {
   virtual StateBits state_size() const = 0;
 
   // Canonical encoding of the state; equal states encode equally. Used by
-  // the adversary harness to compare server-state vectors across executions.
+  // the adversary harness to compare server-state vectors across executions,
+  // and fingerprinted into World::state_hash() — so it must cover ALL state
+  // that distinguishes this process from a copy (anything clone() copies),
+  // or the explorer would merge genuinely distinct world states.
   virtual Bytes encode_state() const = 0;
 
   virtual std::string name() const = 0;

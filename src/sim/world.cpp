@@ -33,7 +33,12 @@ World::World(const World& other)
       tracing_(other.tracing_),
       trace_(other.trace_),
       step_count_(other.step_count_),
-      next_op_id_(other.next_op_id_) {
+      next_op_id_(other.next_op_id_),
+      sets_hash_(other.sets_hash_),
+      procs_hash_(other.procs_hash_),
+      proc_comp_(other.proc_comp_),
+      proc_dirty_(other.proc_dirty_),
+      any_proc_dirty_(other.any_proc_dirty_) {
   cowstats::note_world_copy();
 }
 
@@ -50,6 +55,10 @@ NodeId World::add_process(std::unique_ptr<Process> p) {
   p->set_id(id);
   processes_.push_back(std::move(p));
   channels_.resize_nodes(processes_.size());
+  // The new process's hash component is settled lazily, like any mutation.
+  proc_comp_.push_back(0);
+  proc_dirty_.push_back(0);
+  mark_proc_dirty(id);
   return id;
 }
 
@@ -65,6 +74,10 @@ Process& World::mutable_process(NodeId id) {
         static_cast<std::uint64_t>((s.total() + 7.0) / 8.0));
     p = p->clone();
   }
+  // Conservatively assume the caller mutates: the hash component is
+  // re-encoded at the next state_hash() call (O(this process), not
+  // O(world)).
+  mark_proc_dirty(id);
   return *p;
 }
 
@@ -84,7 +97,7 @@ std::vector<NodeId> World::server_ids() const {
 
 void World::crash(NodeId id) {
   MEMU_CHECK(id.value < processes_.size());
-  crashed_.insert(id);
+  toggle(crashed_.insert(id), statehash::kCrashedSeed, id);
 }
 
 void World::enqueue(ChannelId chan, MessagePtr payload) {
@@ -232,6 +245,18 @@ double World::max_server_value_bits() const {
 
 Bytes World::canonical_encoding() const {
   BufWriter w;
+  encode_canonical_into(w);
+  return std::move(w).take();
+}
+
+void World::encode_canonical(Bytes& out) const {
+  BufWriter w(std::move(out));
+  encode_canonical_into(w);
+  out = std::move(w).take();
+}
+
+void World::encode_canonical_into(BufWriter& w) const {
+  cowstats::note_canonical_encoding();
   w.u64(processes_.size());
   for (const auto& p : processes_) w.bytes(p->encode_state());
   w.u64(channels_.nonempty_count());
@@ -259,7 +284,47 @@ Bytes World::canonical_encoding() const {
     w.bytes(e.value);
     // step deliberately omitted: log order alone determines precedence.
   });
-  return std::move(w).take();
+}
+
+void World::flush_proc_hashes() const {
+  if (!any_proc_dirty_) return;
+  for (std::size_t i = 0; i < proc_dirty_.size(); ++i) {
+    if (!proc_dirty_[i]) continue;
+    proc_dirty_[i] = 0;
+    procs_hash_ ^= proc_comp_[i];  // XOR out the stale component (0 if new)
+    proc_comp_[i] = statehash::component(
+        statehash::kProcSeed, i, fingerprint64(processes_[i]->encode_state()));
+    procs_hash_ ^= proc_comp_[i];
+  }
+  any_proc_dirty_ = false;
+}
+
+std::uint64_t World::state_hash() const {
+  flush_proc_hashes();
+  // Channel and oplog components are maintained inside their containers;
+  // combining is O(1). The final mix keeps the XOR-combined value well
+  // distributed after single-component changes.
+  return mix64(procs_hash_ ^ sets_hash_ ^ channels_.content_hash() ^
+               oplog_.content_hash());
+}
+
+std::uint64_t World::recompute_state_hash() const {
+  std::uint64_t procs = 0;
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    procs ^= statehash::component(
+        statehash::kProcSeed, i, fingerprint64(processes_[i]->encode_state()));
+  }
+  std::uint64_t sets = 0;
+  const auto fold_set = [&sets](const NodeSet& s, std::uint64_t seed) {
+    s.for_each(
+        [&](NodeId id) { sets ^= statehash::member(seed, id.value); });
+  };
+  fold_set(crashed_, statehash::kCrashedSeed);
+  fold_set(frozen_, statehash::kFrozenSeed);
+  fold_set(value_blocked_, statehash::kValueBlockedSeed);
+  fold_set(bulk_blocked_, statehash::kBulkBlockedSeed);
+  return mix64(procs ^ sets ^ channels_.recompute_content_hash() ^
+               oplog_.recompute_content_hash());
 }
 
 StateBits World::channel_bits() const {

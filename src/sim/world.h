@@ -26,6 +26,7 @@
 #include "sim/message.h"
 #include "sim/oplog.h"
 #include "sim/process.h"
+#include "sim/state_hash.h"
 #include "sim/trace.h"
 
 namespace memu {
@@ -70,8 +71,8 @@ class World {
   // Freeze a node: messages to and from it are delayed indefinitely (the
   // paper's "all messages from and to the writer are delayed indefinitely").
   // Unlike a crash, nothing is dropped; unfreeze resumes delivery.
-  void freeze(NodeId id) { frozen_.insert(id); }
-  void unfreeze(NodeId id) { frozen_.erase(id); }
+  void freeze(NodeId id) { toggle(frozen_.insert(id), statehash::kFrozenSeed, id); }
+  void unfreeze(NodeId id) { toggle(frozen_.erase(id), statehash::kFrozenSeed, id); }
   bool is_frozen(NodeId id) const { return frozen_.contains(id); }
 
   // Value-block a node: its channels deliver only value-INDEPENDENT
@@ -80,8 +81,12 @@ class World {
   // Section 6: writers outside C0 "do not send any value-dependent
   // messages, [and] the channels from [them] do not deliver any
   // value-dependent messages" — while their metadata traffic still flows.
-  void value_block(NodeId id) { value_blocked_.insert(id); }
-  void value_unblock(NodeId id) { value_blocked_.erase(id); }
+  void value_block(NodeId id) {
+    toggle(value_blocked_.insert(id), statehash::kValueBlockedSeed, id);
+  }
+  void value_unblock(NodeId id) {
+    toggle(value_blocked_.erase(id), statehash::kValueBlockedSeed, id);
+  }
   bool is_value_blocked(NodeId id) const {
     return value_blocked_.contains(id);
   }
@@ -91,8 +96,12 @@ class World {
   // relaxation of value-blocking used by the Section 6.5 conjecture
   // harness: hashes and other o(log|V|) value-dependent metadata still
   // flow; coded elements and full values do not.
-  void bulk_block(NodeId id) { bulk_blocked_.insert(id); }
-  void bulk_unblock(NodeId id) { bulk_blocked_.erase(id); }
+  void bulk_block(NodeId id) {
+    toggle(bulk_blocked_.insert(id), statehash::kBulkBlockedSeed, id);
+  }
+  void bulk_unblock(NodeId id) {
+    toggle(bulk_blocked_.erase(id), statehash::kBulkBlockedSeed, id);
+  }
   bool is_bulk_blocked(NodeId id) const { return bulk_blocked_.contains(id); }
 
   // --- channels ------------------------------------------------------------
@@ -171,8 +180,37 @@ class World {
   // freeze / value-block sets, and the oplog WITHOUT absolute step stamps
   // (event order alone carries the precedence information). Two Worlds with
   // equal encodings behave identically under identical future schedules —
-  // the deduplication key of the exhaustive interleaving explorer.
+  // the deduplication key of the exact-mode explorer. Each call is a full
+  // O(|state|) serialization (counted in cowstats::canonical_encodings);
+  // fingerprint-mode exploration dedupes on state_hash() instead and never
+  // calls this.
   Bytes canonical_encoding() const;
+
+  // Same encoding, written into `out` (cleared; capacity kept). The
+  // exact-dedupe hot path recycles one thread-local buffer through this
+  // instead of allocating a fresh Bytes per visited state.
+  void encode_canonical(Bytes& out) const;
+
+  // Incremental 64-bit fingerprint of the complete logical state — the
+  // same state canonical_encoding() serializes, but maintained Zobrist-
+  // style in O(delta) per mutation: every component (process block,
+  // channel queue, failure-set membership, oplog event) XORs a keyed hash
+  // out of and into the running value when it changes (sim/state_hash.h).
+  // Guarantees: equal canonical encodings => equal state_hash(), across
+  // runs and machines (keys are deterministic); distinct states collide
+  // with probability ~2^-64 per pair — the identical caveat to fingerprint
+  // dedupe. Process components are flushed lazily: a mutated process is
+  // marked dirty and re-encoded (O(|that process|)) at the next call, so
+  // the cost per explored transition is the touched process plus the
+  // touched queues, never the whole World. Not thread-safe against
+  // concurrent calls on the SAME World (it memoizes through mutable
+  // fields); distinct Worlds, including COW copies of a shared base, are
+  // independent.
+  std::uint64_t state_hash() const;
+
+  // O(|state|) from-scratch recomputation of state_hash() — the
+  // differential-test oracle (and a debugging aid); NOT the hot path.
+  std::uint64_t recompute_state_hash() const;
 
  private:
   friend class Context;
@@ -181,6 +219,27 @@ class World {
   // value-block state, or kNoIndex (shared constant in channel_table.h).
   std::size_t first_allowed_index(ChannelId chan,
                                   const ChannelTable::Queue& queue) const;
+
+  // XORs the membership component of (seed, id) into the failure-set hash
+  // iff the set actually changed (NodeSet::insert/erase report that).
+  void toggle(bool changed, std::uint64_t seed, NodeId id) {
+    if (changed) sets_hash_ ^= statehash::member(seed, id.value);
+  }
+
+  // Marks process `id` as needing a component recompute at the next
+  // state_hash() call. Every mutating process access funnels through
+  // mutable_process, which calls this.
+  void mark_proc_dirty(NodeId id) const {
+    proc_dirty_[id.value] = 1;
+    any_proc_dirty_ = true;
+  }
+
+  // Re-encodes dirty processes and settles their components into
+  // procs_hash_.
+  void flush_proc_hashes() const;
+
+  // Serializes the complete canonical state into `w`.
+  void encode_canonical_into(BufWriter& w) const;
 
   // The process at `id`, cloned off the shared block iff another World
   // still references it. All mutating paths (deliver, invoke, non-const
@@ -200,6 +259,19 @@ class World {
   Trace trace_;
   std::uint64_t step_count_ = 0;
   std::uint64_t next_op_id_ = 1;
+
+  // --- incremental state hash (see state_hash()) ---------------------------
+  // Failure-set membership components, updated eagerly (O(1) per toggle).
+  std::uint64_t sets_hash_ = 0;
+  // XOR of the settled per-process components; proc_comp_[i] is the
+  // component currently folded in for process i, proc_dirty_[i] flags a
+  // mutated process whose component is stale. Mutable: state_hash() is
+  // logically const but memoizes the flush. A byte vector (not
+  // vector<bool>) so flushing scans flat storage.
+  mutable std::uint64_t procs_hash_ = 0;
+  mutable std::vector<std::uint64_t> proc_comp_;
+  mutable std::vector<std::uint8_t> proc_dirty_;
+  mutable bool any_proc_dirty_ = false;
 };
 
 }  // namespace memu

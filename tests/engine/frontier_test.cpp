@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "algo/abd/system.h"
+#include "sim/cow_stats.h"
 #include "sim/explorer.h"
 
 namespace memu {
@@ -175,6 +176,26 @@ TEST(FrontierSearch, ExactDedupeMatchesFingerprintAndCostsMore) {
   // ...but exact mode retains the full encodings.
   EXPECT_EQ(a.dedupe_bytes, 8 * a.states_visited);
   EXPECT_GE(b.dedupe_bytes, 5 * a.dedupe_bytes);
+}
+
+TEST(FrontierSearch, FingerprintModeNeverCallsCanonicalEncoding) {
+  // The point of the incremental state hash: fingerprint-mode exploration
+  // performs ZERO full canonical serializations — not one per node, none.
+  // Exact mode is the mode that pays for encodings (one per popped node).
+  const auto before_fp = cowstats::snapshot();
+  const auto a = explore_abd(ExploreOptions{});
+  const auto fp_encodings =
+      (cowstats::snapshot() - before_fp).canonical_encodings;
+  EXPECT_EQ(fp_encodings, 0u);
+  ASSERT_GT(a.states_visited, 100u);  // a real search, not a no-op
+
+  ExploreOptions exact;
+  exact.exact_dedupe = true;
+  const auto before_exact = cowstats::snapshot();
+  const auto b = explore_abd(exact);
+  const auto exact_encodings =
+      (cowstats::snapshot() - before_exact).canonical_encodings;
+  EXPECT_GE(exact_encodings, b.states_visited);
 }
 
 TEST(FrontierSearch, AccountingIdentityHoldsUnderParallelTruncation) {

@@ -10,7 +10,7 @@
 
 namespace {
 
-memu::ExploreResult run(std::size_t threads) {
+memu::ExploreResult run(std::size_t threads, bool exact = false) {
   memu::abd::Options opt;
   opt.n_servers = 3;
   opt.f = 1;
@@ -22,6 +22,7 @@ memu::ExploreResult run(std::size_t threads) {
   sys.world.invoke(sys.readers[0], {memu::OpType::kRead, {}});
   memu::ExploreOptions eopt;
   eopt.threads = threads;
+  eopt.exact_dedupe = exact;
   return memu::engine::frontier_search(sys.world, eopt, {}, {});
 }
 
@@ -29,8 +30,10 @@ memu::ExploreResult run(std::size_t threads) {
 
 int main() {
   const memu::ExploreResult seq = run(1);
-  for (int round = 0; round < 3; ++round) {
-    const memu::ExploreResult par = run(8);
+  for (int round = 0; round < 4; ++round) {
+    // Round 3 runs exact dedupe: the per-worker thread-local encode buffer
+    // and the byte-keyed visited set under the same stealing schedule.
+    const memu::ExploreResult par = run(8, /*exact=*/round == 3);
     if (par.states_visited != seq.states_visited ||
         par.terminal_states != seq.terminal_states ||
         par.transitions != seq.transitions || par.deduped != seq.deduped ||
@@ -42,7 +45,8 @@ int main() {
       return 1;
     }
   }
-  std::printf("tsan smoke ok: %zu states, parallel == sequential x3\n",
+  std::printf("tsan smoke ok: %zu states, parallel == sequential x4 "
+              "(fingerprint + exact)\n",
               seq.states_visited);
   return 0;
 }

@@ -14,20 +14,34 @@ Bytes key(std::uint64_t i) {
   return std::move(w).take();
 }
 
-TEST(VisitedSet, InsertOnceThenContains) {
+TEST(VisitedSet, TryInsertOnceThenContains) {
   VisitedSet set({/*exact=*/false, /*shards=*/1});
   EXPECT_FALSE(set.contains(key(7)));
-  EXPECT_TRUE(set.insert(key(7)));
+  EXPECT_TRUE(set.try_insert(key(7)));
   EXPECT_TRUE(set.contains(key(7)));
-  EXPECT_FALSE(set.insert(key(7)));  // second insert is a no-op
+  EXPECT_FALSE(set.try_insert(key(7)));  // second insert is a no-op
   EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(VisitedSet, FingerprintOverloadMatchesByteKeys) {
+  // try_insert(fp) with fingerprint64(key) must land in the same slot the
+  // byte-key overload would have used — the frontier mixes neither, but the
+  // equivalence is the contract that makes the direct overload correct.
+  VisitedSet set({/*exact=*/false, /*shards=*/4});
+  EXPECT_TRUE(set.try_insert(fingerprint64(key(3))));
+  EXPECT_FALSE(set.try_insert(key(3)));
+  EXPECT_TRUE(set.contains(fingerprint64(key(3))));
+  EXPECT_FALSE(set.contains(fingerprint64(key(4))));
+  EXPECT_TRUE(set.try_insert(key(4)));
+  EXPECT_FALSE(set.try_insert(fingerprint64(key(4))));
+  EXPECT_EQ(set.size(), 2u);
 }
 
 TEST(VisitedSet, ExactModeBehavesIdentically) {
   VisitedSet fp({/*exact=*/false, /*shards=*/4});
   VisitedSet exact({/*exact=*/true, /*shards=*/4});
   for (std::uint64_t i = 0; i < 1000; ++i) {
-    EXPECT_EQ(fp.insert(key(i % 300)), exact.insert(key(i % 300)));
+    EXPECT_EQ(fp.try_insert(key(i % 300)), exact.try_insert(key(i % 300)));
   }
   EXPECT_EQ(fp.size(), 300u);
   EXPECT_EQ(exact.size(), 300u);
@@ -41,8 +55,8 @@ TEST(VisitedSet, FingerprintModeRetainsEightBytesPerState) {
     BufWriter w;
     for (int j = 0; j < 25; ++j) w.u64(i);
     const Bytes k = std::move(w).take();
-    fp.insert(k);
-    exact.insert(k);
+    fp.try_insert(k);
+    exact.try_insert(k);
   }
   EXPECT_EQ(fp.memory_bytes(), 8u * 100);
   EXPECT_GE(exact.memory_bytes(), 200u * 100);
@@ -58,13 +72,36 @@ TEST(VisitedSet, ConcurrentInsertersAgreeOnFreshness) {
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&] {
       for (std::uint64_t i = 0; i < kKeys; ++i) {
-        if (set.insert(key(i))) fresh.fetch_add(1, std::memory_order_relaxed);
+        if (set.try_insert(key(i)))
+          fresh.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(fresh.load(), kKeys);
   EXPECT_EQ(set.size(), kKeys);
+}
+
+TEST(AutoShardCount, SequentialIsUnsharded) {
+  EXPECT_EQ(auto_shard_count(0), 1u);
+  EXPECT_EQ(auto_shard_count(1), 1u);
+}
+
+TEST(AutoShardCount, ScalesWithThreadsAndStaysPowerOfTwo) {
+  EXPECT_EQ(auto_shard_count(2), 16u);
+  EXPECT_EQ(auto_shard_count(4), 32u);
+  EXPECT_EQ(auto_shard_count(8), 64u);
+  EXPECT_EQ(auto_shard_count(12), 128u);  // 96 rounds up to the next pow2
+  for (std::size_t t = 2; t <= 64; ++t) {
+    const std::size_t n = auto_shard_count(t);
+    EXPECT_TRUE(std::has_single_bit(n)) << t;
+    EXPECT_GE(n, 8 * t) << t;
+  }
+}
+
+TEST(AutoShardCount, CappedAtFixedCeiling) {
+  EXPECT_EQ(auto_shard_count(128), 1024u);
+  EXPECT_EQ(auto_shard_count(10'000), 1024u);
 }
 
 }  // namespace

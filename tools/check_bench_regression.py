@@ -81,10 +81,33 @@ def check_explore(cur, base, tol):
         check_upper_bound(
             f"{mode} cow_bytes_per_state", run["cow_bytes_per_state"],
             b["cow_bytes_per_state"], tol)
+        # Hard invariant, not a tolerance: fingerprint-mode exploration
+        # must never serialize a canonical encoding (the incremental state
+        # hash exists to remove exactly that cost).
+        if run["dedupe_mode"] == "fingerprint":
+            encodings = run.get("canonical_encodings")
+            if encodings is None:
+                ok(f"{mode}: no canonical_encodings field (pre-hash run)")
+            elif encodings != 0:
+                fail(f"{mode}: {encodings} canonical encodings in "
+                     "fingerprint mode (must be 0)")
+            else:
+                ok(f"{mode}: 0 canonical encodings")
     if not cur.get("parallel_counters_match_sequential", False):
         fail("parallel explore counters diverged from sequential")
     else:
         ok("parallel counters match sequential")
+    # Work-stealing scaling curve: gate per-thread-count throughput so a
+    # scheduler regression at ANY width fails, not just the 1/8 endpoints.
+    base_scaling = {s["threads"]: s for s in base.get("scaling", [])}
+    for s in cur.get("scaling", []):
+        b = base_scaling.get(s["threads"])
+        if b is None:
+            ok(f"scaling threads={s['threads']} has no baseline, skipping")
+            continue
+        check_lower_bound(
+            f"scaling threads={s['threads']} states_per_sec",
+            s["states_per_sec"], b["states_per_sec"], tol)
     check_lower_bound(
         "cow_copy_reduction_x", cur["cow_copy_reduction_x"],
         base["cow_copy_reduction_x"], tol)
@@ -101,6 +124,12 @@ def check_harness(cur, base, tol):
         check_upper_bound(
             f"{name} cow_bytes_per_copy", case["cow_bytes_per_copy"],
             b["cow_bytes_per_copy"], tol)
+    # Aggregate fork throughput: per-case wall times are microseconds-noisy,
+    # but the all-cases total is stable enough to gate.
+    if "world_copies_per_sec" in cur and "world_copies_per_sec" in base:
+        check_lower_bound(
+            "world_copies_per_sec (all cases)",
+            cur["world_copies_per_sec"], base["world_copies_per_sec"], tol)
 
 
 def main():
