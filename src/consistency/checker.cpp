@@ -1,6 +1,7 @@
 #include "consistency/checker.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -31,9 +32,12 @@ struct LOp {
 // real-time precedence, and satisfies register semantics? Memoized on
 // (linearized-set mask, current value id). Supports up to 64 ops. When
 // `order_out` is non-null, the successful order (indices into `ops`) is
-// recorded.
+// recorded. When `deepest_out` is non-null, the linearized-set mask with
+// the most ops reached anywhere in the (failed) search is recorded — the
+// divergence localizer for counterexample reports.
 bool linearizable(const std::vector<LOp>& ops, int initial_id,
-                  std::vector<std::size_t>* order_out = nullptr) {
+                  std::vector<std::size_t>* order_out = nullptr,
+                  std::uint64_t* deepest_out = nullptr) {
   const std::size_t n = ops.size();
   MEMU_CHECK_MSG(n <= 64, "linearizability search supports <= 64 operations");
 
@@ -49,8 +53,12 @@ bool linearizable(const std::vector<LOp>& ops, int initial_id,
            static_cast<std::uint64_t>(value + 1);
   };
 
+  std::uint64_t deepest = 0;
   std::function<bool(std::uint64_t, int)> go = [&](std::uint64_t mask,
                                                    int value) -> bool {
+    if (std::popcount(mask & required_mask) >
+        std::popcount(deepest & required_mask))
+      deepest = mask;
     if ((mask & required_mask) == required_mask) return true;
     if (failed.contains(key(mask, value))) return false;
 
@@ -72,7 +80,9 @@ bool linearizable(const std::vector<LOp>& ops, int initial_id,
     failed.insert(key(mask, value));
     return false;
   };
-  return go(0, initial_id);
+  const bool ok = go(0, initial_id);
+  if (deepest_out) *deepest_out = deepest;
+  return ok;
 }
 
 // Assigns dense ids to all distinct written values; the initial value gets
@@ -109,11 +119,12 @@ std::string describe(const Operation& op) {
 }
 
 // Builds the LOp list for a full-history atomicity check. Returns false
-// (with `error` set) when a read returned a never-written value.
+// (with `error` and `error_op` set) when a read returned a never-written
+// value.
 bool build_register_ops(const History& h, const Value& initial,
                         std::vector<LOp>& ops,
                         std::vector<std::uint64_t>& op_ids,
-                        std::string& error) {
+                        std::string& error, std::uint64_t& error_op) {
   ValueIds ids(initial);
   // Intern every written value first: a read may legally return the value
   // of a write that was *invoked after* the read (they overlap).
@@ -138,6 +149,7 @@ bool build_register_ops(const History& h, const Value& initial,
       l.value_id = ids.lookup(op.returned);
       if (l.value_id < 0) {
         error = "read " + describe(op) + " returned a never-written value";
+        error_op = op.op_id;
         return false;
       }
       l.required = true;
@@ -154,13 +166,27 @@ CheckResult check_atomic(const History& h, const Value& initial) {
   std::vector<LOp> ops;
   std::vector<std::uint64_t> op_ids;
   std::string error;
-  if (!build_register_ops(h, initial, ops, op_ids, error))
-    return CheckResult::fail(error);
+  std::uint64_t error_op = 0;
+  if (!build_register_ops(h, initial, ops, op_ids, error, error_op))
+    return CheckResult::fail_at(error, error_op);
 
-  if (linearizable(ops, 0)) return CheckResult::pass();
-  return CheckResult::fail(
-      "no linearization exists for the history (" +
-      std::to_string(ops.size()) + " operations)");
+  std::uint64_t deepest = 0;
+  if (linearizable(ops, 0, nullptr, &deepest)) return CheckResult::pass();
+
+  // Localize: among required ops the deepest frontier never linearized,
+  // the earliest-invoked one is where the history first diverges.
+  std::optional<std::size_t> diverged;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (!ops[i].required || (deepest & (1ull << i))) continue;
+    if (!diverged || ops[i].invoke < ops[*diverged].invoke) diverged = i;
+  }
+  std::string why = "no linearization exists for the history (" +
+                    std::to_string(ops.size()) + " operations)";
+  if (diverged) {
+    why += "; first divergence at op " + std::to_string(op_ids[*diverged]);
+    return CheckResult::fail_at(std::move(why), op_ids[*diverged]);
+  }
+  return CheckResult::fail(std::move(why));
 }
 
 Linearization find_linearization(const History& h, const Value& initial) {
@@ -168,7 +194,8 @@ Linearization find_linearization(const History& h, const Value& initial) {
   std::vector<LOp> ops;
   std::vector<std::uint64_t> op_ids;
   std::string error;
-  if (!build_register_ops(h, initial, ops, op_ids, error)) return out;
+  std::uint64_t error_op = 0;
+  if (!build_register_ops(h, initial, ops, op_ids, error, error_op)) return out;
 
   std::vector<std::size_t> order;
   if (!linearizable(ops, 0, &order)) return out;
@@ -211,10 +238,11 @@ CheckResult check_regular_swsr(const History& h, const Value& initial) {
       }
     }
     if (!ok)
-      return CheckResult::fail(
+      return CheckResult::fail_at(
           "regularity violation: " + describe(*r) +
           " returned neither the latest preceding write nor an overlapping "
-          "write");
+          "write",
+          r->op_id);
   }
   return CheckResult::pass();
 }
@@ -243,13 +271,14 @@ CheckResult check_weakly_regular(const History& h, const Value& initial) {
     l.is_write = false;
     l.value_id = ids.lookup(r->returned);
     if (l.value_id < 0)
-      return CheckResult::fail("read " + describe(*r) +
-                               " returned a never-written value");
+      return CheckResult::fail_at(
+          "read " + describe(*r) + " returned a never-written value",
+          r->op_id);
     l.required = true;
     ops.push_back(l);
     if (!linearizable(ops, 0))
-      return CheckResult::fail("weak regularity violation at " +
-                               describe(*r));
+      return CheckResult::fail_at(
+          "weak regularity violation at " + describe(*r), r->op_id);
   }
   return CheckResult::pass();
 }

@@ -16,6 +16,7 @@
 // everything.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "consistency/history.h"
@@ -25,9 +26,22 @@ namespace memu {
 struct CheckResult {
   bool ok = true;
   std::string violation;  // human-readable description when !ok
+  // The operation where the history first leaves the legal space, when the
+  // checker can localize it: for a read of a never-written value, that
+  // read; for a failed linearization search, the earliest-invoked required
+  // operation missing from the deepest frontier the search linearized
+  // (deterministic — the search order is fixed). Fuzz counterexample
+  // reports lead with this op so a 40-operation history points at one
+  // suspect instead of "no linearization exists".
+  std::optional<std::uint64_t> first_divergence_op;
 
   static CheckResult pass() { return {}; }
-  static CheckResult fail(std::string why) { return {false, std::move(why)}; }
+  static CheckResult fail(std::string why) {
+    return {false, std::move(why), std::nullopt};
+  }
+  static CheckResult fail_at(std::string why, std::uint64_t op_id) {
+    return {false, std::move(why), op_id};
+  }
 };
 
 // A linearization witness: the operation ids (History order ids) in a legal

@@ -10,6 +10,7 @@ History History::from_oplog(const OpLog& log) {
   History h;
   std::map<std::uint64_t, std::size_t> index;  // op_id -> position
   log.for_each([&](const OpEvent& e) {
+    if (e.kind == OpEvent::Kind::kFault) return;  // injected-fault tag
     if (e.kind == OpEvent::Kind::kInvoke) {
       MEMU_CHECK_MSG(!index.contains(e.op_id), "duplicate invoke " << e.op_id);
       Operation op;

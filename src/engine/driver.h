@@ -29,6 +29,16 @@ class ExecutionDriver {
   bool run_until(World& world, const std::function<bool(const World&)>& pred,
                  std::uint64_t max_steps);
 
+  // --- pre-step injection ---------------------------------------------------
+  // Invoked immediately before every step() attempt inside the run loops
+  // (run_until / drain / run_until_responses) with the number of steps the
+  // driver has taken so far. The fuzz Injector perturbs the World here —
+  // crash/recover, drop, duplicate, delay, partition — so fault timing is a
+  // pure function of the step counter and the hook sees every scheduling
+  // point. An empty hook (the default) costs one branch per step.
+  using PreStepHook = std::function<void(World&, std::uint64_t steps_taken)>;
+  void set_pre_step_hook(PreStepHook hook) { pre_step_ = std::move(hook); }
+
   // Steps until the driver can take no further step or `max_steps`
   // deliveries happen. Returns true iff the world has no deliverable
   // message afterwards (quiescence).
@@ -59,10 +69,16 @@ class ExecutionDriver {
     if (metering_) meter_.observe(world);
   }
 
+  // Run loops call this before each step() attempt.
+  void pre_step(World& world) {
+    if (pre_step_) pre_step_(world, steps_taken_);
+  }
+
  private:
   std::uint64_t steps_taken_ = 0;
   bool metering_ = false;
   StorageMeter meter_;
+  PreStepHook pre_step_;
 };
 
 }  // namespace memu::engine

@@ -1,0 +1,298 @@
+#include "fuzz/campaign.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "algo/abd/system.h"
+#include "algo/cas/system.h"
+#include "algo/ldr/ldr.h"
+#include "algo/strip/strip.h"
+#include "common/check.h"
+#include "common/hash.h"
+#include "engine/scheduler.h"
+#include "fuzz/minimizer.h"
+
+namespace memu::fuzz {
+
+std::uint64_t walk_seed_for(std::uint64_t campaign_seed, std::size_t walk) {
+  return mix64(campaign_seed ^ mix64(static_cast<std::uint64_t>(walk) + 1));
+}
+
+std::uint64_t injection_seed_for(std::uint64_t walk_seed) {
+  // Independent stream: the scheduler and the injector must not share
+  // randomness, or scripted replay (which consumes none) would diverge.
+  return mix64(walk_seed ^ 0x5fau * 0x9e3779b97f4a7c15ull);
+}
+
+FuzzSystem make_fuzz_system(const SystemSpec& spec) {
+  FuzzSystem out;
+  if (spec.algo == "abd" || spec.algo == "abd-regular") {
+    abd::Options o;
+    o.n_servers = spec.n_servers;
+    o.f = spec.f;
+    o.n_writers = spec.n_writers;
+    o.n_readers = spec.n_readers;
+    o.value_size = spec.value_size;
+    o.read_write_back = spec.algo == "abd";
+    auto sys = abd::make_system(o);
+    out.world = std::move(sys.world);
+    out.servers = std::move(sys.servers);
+    out.writers = std::move(sys.writers);
+    out.readers = std::move(sys.readers);
+  } else if (spec.algo == "cas") {
+    cas::Options o;
+    o.n_servers = spec.n_servers;
+    o.f = spec.f;
+    o.k = spec.k == 0 ? spec.n_servers - 2 * spec.f : spec.k;
+    o.n_writers = spec.n_writers;
+    o.n_readers = spec.n_readers;
+    o.value_size = spec.value_size;
+    auto sys = cas::make_system(o);
+    out.world = std::move(sys.world);
+    out.servers = std::move(sys.servers);
+    out.writers = std::move(sys.writers);
+    out.readers = std::move(sys.readers);
+  } else if (spec.algo == "ldr") {
+    ldr::Options o;
+    o.n_servers = spec.n_servers;
+    o.f = spec.f;
+    o.n_writers = spec.n_writers;
+    o.n_readers = spec.n_readers;
+    o.value_size = spec.value_size;
+    auto sys = ldr::make_system(o);
+    out.world = std::move(sys.world);
+    out.servers = std::move(sys.servers);
+    out.writers = std::move(sys.writers);
+    out.readers = std::move(sys.readers);
+  } else if (spec.algo == "strip") {
+    strip::Options o;
+    o.n_servers = spec.n_servers;
+    o.f = spec.f;
+    o.n_writers = spec.n_writers;
+    o.n_readers = spec.n_readers;
+    o.value_size = spec.value_size;
+    auto sys = strip::make_system(o);
+    out.world = std::move(sys.world);
+    out.servers = std::move(sys.servers);
+    out.writers = std::move(sys.writers);
+    out.readers = std::move(sys.readers);
+  } else {
+    throw std::runtime_error("unknown algo '" + spec.algo +
+                             "' (want abd | abd-regular | cas | ldr | strip)");
+  }
+  out.initial = enum_value(0, spec.value_size);
+  return out;
+}
+
+namespace {
+
+CheckResult run_check(CheckKind kind, const History& h, const Value& initial) {
+  switch (kind) {
+    case CheckKind::kAtomic: return check_atomic(h, initial);
+    case CheckKind::kRegularSwsr: return check_regular_swsr(h, initial);
+    case CheckKind::kWeaklyRegular: return check_weakly_regular(h, initial);
+  }
+  MEMU_UNREACHABLE("unknown check kind");
+}
+
+struct ClientState {
+  bool busy = false;
+  std::size_t issued = 0;
+};
+
+// When the scheduler cannot step (e.g. an active partition starves every
+// quorum), the injector still gets a pre-step chance per retry — enough for
+// heal/recover to restore liveness. Give up after this many fruitless
+// retries and check whatever history exists.
+constexpr std::size_t kStallGrace = 1'000;
+
+// The core walk, shared verbatim by random campaigns and scripted replay —
+// identical loop, identical scheduler policy, so a recorded trace replays
+// the exact execution.
+WalkResult run_walk(const SystemSpec& spec, CheckKind check_kind,
+                    std::uint64_t walk_seed, std::uint64_t max_steps,
+                    std::size_t writes_per_writer, std::size_t reads_per_reader,
+                    Injector& injector) {
+  FuzzSystem sys = make_fuzz_system(spec);
+  World& world = sys.world;
+
+  Scheduler sched(Scheduler::Policy::kRandomReorder, walk_seed);
+  sched.enable_metering();
+  sched.set_pre_step_hook([&injector](World& w, std::uint64_t steps_taken) {
+    injector.before_step(w, steps_taken);
+  });
+
+  std::map<NodeId, ClientState> state;
+  for (const NodeId w : sys.writers) state[w] = {};
+  for (const NodeId r : sys.readers) state[r] = {};
+
+  const std::size_t want_responses =
+      sys.writers.size() * writes_per_writer +
+      sys.readers.size() * reads_per_reader;
+  std::size_t responses = 0;
+  std::size_t oplog_cursor = world.oplog().size();
+  const auto never = [](const World&) { return false; };
+
+  sched.observe(world);
+  std::size_t stalled = 0;
+  while (sched.steps_taken() < max_steps) {
+    const OpLog& log = world.oplog();
+    for (; oplog_cursor < log.size(); ++oplog_cursor) {
+      const auto& e = log[oplog_cursor];
+      const auto it = state.find(e.client);
+      if (it == state.end()) continue;
+      if (e.kind == OpEvent::Kind::kResponse) {
+        it->second.busy = false;
+        ++responses;
+      }
+    }
+    if (responses >= want_responses) break;
+
+    for (std::size_t i = 0; i < sys.writers.size(); ++i) {
+      ClientState& cs = state[sys.writers[i]];
+      if (cs.busy || cs.issued >= writes_per_writer) continue;
+      const Value v = unique_value(static_cast<std::uint32_t>(i + 1),
+                                   cs.issued + 1, spec.value_size);
+      world.invoke(sys.writers[i], Invocation{OpType::kWrite, v});
+      cs.busy = true;
+      ++cs.issued;
+    }
+    for (const NodeId r : sys.readers) {
+      ClientState& cs = state[r];
+      if (cs.busy || cs.issued >= reads_per_reader) continue;
+      world.invoke(r, Invocation{OpType::kRead, {}});
+      cs.busy = true;
+      ++cs.issued;
+    }
+
+    const std::uint64_t before = sched.steps_taken();
+    sched.run_until(world, never, 1);
+    if (sched.steps_taken() == before) {
+      if (++stalled >= kStallGrace) break;
+    } else {
+      stalled = 0;
+    }
+  }
+
+  // Absorb trailing responses.
+  const OpLog& log = world.oplog();
+  for (; oplog_cursor < log.size(); ++oplog_cursor) {
+    const auto& e = log[oplog_cursor];
+    if (state.find(e.client) == state.end()) continue;
+    if (e.kind == OpEvent::Kind::kResponse) ++responses;
+  }
+
+  WalkResult r;
+  r.walk_seed = walk_seed;
+  r.completed = responses >= want_responses;
+  r.steps = sched.steps_taken();
+  r.injected = injector.events().size();
+  r.skipped = injector.skipped();
+  r.peak_total_value_bits = sched.storage_report().peak_total_value_bits;
+
+  const History history = History::from_oplog(world.oplog());
+  r.ops = history.size();
+  r.check = run_check(check_kind, history, sys.initial);
+
+  r.trace.spec = spec;
+  r.trace.walk_seed = walk_seed;
+  r.trace.max_steps = max_steps;
+  r.trace.writes_per_writer = writes_per_writer;
+  r.trace.reads_per_reader = reads_per_reader;
+  r.trace.check = check_kind;
+  r.trace.events = injector.events();
+  r.trace.violation = r.check.violation;
+  r.trace.first_divergence_op = r.check.first_divergence_op;
+  return r;
+}
+
+}  // namespace
+
+WalkResult replay_trace(const FuzzTrace& trace) {
+  FuzzSystem sys = make_fuzz_system(trace.spec);  // for the server list only
+  Injector injector(sys.servers, trace.spec.f, trace.events);
+  WalkResult r =
+      run_walk(trace.spec, trace.check, trace.walk_seed, trace.max_steps,
+               trace.writes_per_writer, trace.reads_per_reader, injector);
+  r.trace.campaign_seed = trace.campaign_seed;
+  r.trace.walk_index = trace.walk_index;
+  r.walk_index = trace.walk_index;
+  return r;
+}
+
+CampaignSummary run_campaign(const SystemSpec& spec, const FuzzPlan& plan) {
+  MEMU_CHECK_MSG(plan.mix.sum() <= 1.0, "fault mix probabilities sum past 1");
+  CampaignSummary summary;
+  summary.spec = spec;
+  summary.plan = plan;
+  summary.walks.reserve(plan.walks);
+
+  for (std::size_t i = 0; i < plan.walks; ++i) {
+    const std::uint64_t walk_seed = walk_seed_for(plan.seed, i);
+    FuzzSystem sys = make_fuzz_system(spec);  // for the server list only
+    Injector injector(sys.servers, spec.f, plan.mix,
+                      injection_seed_for(walk_seed));
+    WalkResult r =
+        run_walk(spec, plan.check, walk_seed, plan.max_steps,
+                 plan.writes_per_writer, plan.reads_per_reader, injector);
+    r.walk_index = i;
+    r.trace.campaign_seed = plan.seed;
+    r.trace.walk_index = i;
+
+    if (!r.check.ok) {
+      ++summary.violations;
+      if (plan.minimize) {
+        const MinimizeResult m = minimize(r.trace);
+        if (m.still_violates) r.trace = m.trace;
+      }
+    }
+    if (r.completed) ++summary.completed_walks;
+    summary.injected_total += r.injected;
+    summary.steps_total += r.steps;
+    summary.walks.push_back(std::move(r));
+  }
+  return summary;
+}
+
+std::string CampaignSummary::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"spec\": {\"algo\": \"" << spec.algo
+     << "\", \"n_servers\": " << spec.n_servers << ", \"f\": " << spec.f
+     << ", \"k\": " << spec.k << ", \"n_writers\": " << spec.n_writers
+     << ", \"n_readers\": " << spec.n_readers
+     << ", \"value_size\": " << spec.value_size << "},\n";
+  os << "  \"plan\": {\"seed\": " << plan.seed << ", \"walks\": " << plan.walks
+     << ", \"max_steps\": " << plan.max_steps
+     << ", \"writes_per_writer\": " << plan.writes_per_writer
+     << ", \"reads_per_reader\": " << plan.reads_per_reader
+     << ", \"check\": \"" << check_kind_name(plan.check)
+     << "\", \"minimize\": " << (plan.minimize ? "true" : "false") << "},\n";
+  os << "  \"violations\": " << violations << ",\n";
+  os << "  \"completed_walks\": " << completed_walks << ",\n";
+  os << "  \"injected_total\": " << injected_total << ",\n";
+  os << "  \"steps_total\": " << steps_total << ",\n";
+  os << "  \"walks\": [";
+  for (std::size_t i = 0; i < walks.size(); ++i) {
+    const WalkResult& w = walks[i];
+    os << (i == 0 ? "\n    " : ",\n    ");
+    os << "{\"walk\": " << w.walk_index << ", \"seed\": " << w.walk_seed
+       << ", \"completed\": " << (w.completed ? "true" : "false")
+       << ", \"steps\": " << w.steps << ", \"injected\": " << w.injected
+       << ", \"ops\": " << w.ops << ", \"ok\": "
+       << (w.check.ok ? "true" : "false");
+    if (!w.check.ok) {
+      os << ", \"minimized_events\": " << w.trace.events.size();
+      if (w.check.first_divergence_op.has_value())
+        os << ", \"first_divergence_op\": " << *w.check.first_divergence_op;
+    }
+    os << '}';
+  }
+  os << (walks.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace memu::fuzz

@@ -1,0 +1,238 @@
+#include "fuzz/injector.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace memu::fuzz {
+
+std::string event_kind_name(InjectedEvent::Kind k) {
+  switch (k) {
+    case InjectedEvent::Kind::kCrash: return "crash";
+    case InjectedEvent::Kind::kRecover: return "recover";
+    case InjectedEvent::Kind::kDrop: return "drop";
+    case InjectedEvent::Kind::kDuplicate: return "duplicate";
+    case InjectedEvent::Kind::kDelay: return "delay";
+    case InjectedEvent::Kind::kPartition: return "partition";
+    case InjectedEvent::Kind::kHeal: return "heal";
+  }
+  MEMU_UNREACHABLE("unknown event kind");
+}
+
+InjectedEvent::Kind event_kind_from_name(const std::string& name) {
+  if (name == "crash") return InjectedEvent::Kind::kCrash;
+  if (name == "recover") return InjectedEvent::Kind::kRecover;
+  if (name == "drop") return InjectedEvent::Kind::kDrop;
+  if (name == "duplicate") return InjectedEvent::Kind::kDuplicate;
+  if (name == "delay") return InjectedEvent::Kind::kDelay;
+  if (name == "partition") return InjectedEvent::Kind::kPartition;
+  if (name == "heal") return InjectedEvent::Kind::kHeal;
+  MEMU_CHECK_MSG(false, "unknown injected-event kind '" << name << "'");
+}
+
+std::string describe(const InjectedEvent& e) {
+  std::ostringstream os;
+  os << event_kind_name(e.kind);
+  switch (e.kind) {
+    case InjectedEvent::Kind::kCrash:
+    case InjectedEvent::Kind::kRecover:
+      os << " server " << e.server;
+      break;
+    case InjectedEvent::Kind::kDrop:
+    case InjectedEvent::Kind::kDuplicate:
+    case InjectedEvent::Kind::kDelay:
+      os << ' ' << e.src << "->" << e.dst << '[' << e.index << ']';
+      break;
+    case InjectedEvent::Kind::kPartition: {
+      os << " {";
+      bool first = true;
+      for (std::size_t i = 0; i < 64; ++i) {
+        if (!(e.group_bits & (1ull << i))) continue;
+        os << (first ? "" : ",") << i;
+        first = false;
+      }
+      os << '}';
+      break;
+    }
+    case InjectedEvent::Kind::kHeal:
+      break;
+  }
+  os << " @" << e.at_step;
+  return os.str();
+}
+
+Injector::Injector(std::vector<NodeId> servers, std::size_t f, FaultMix mix,
+                   std::uint64_t seed)
+    : servers_(std::move(servers)), f_(f), mix_(mix), rng_(seed) {
+  MEMU_CHECK_MSG(servers_.size() <= 64,
+                 "injector partition masks support <= 64 servers");
+  MEMU_CHECK_MSG(mix_.sum() <= 1.0, "fault mix probabilities sum past 1");
+}
+
+Injector::Injector(std::vector<NodeId> servers, std::size_t f,
+                   std::vector<InjectedEvent> script)
+    : servers_(std::move(servers)),
+      f_(f),
+      scripted_(true),
+      script_(std::move(script)) {
+  MEMU_CHECK_MSG(servers_.size() <= 64,
+                 "injector partition masks support <= 64 servers");
+}
+
+void Injector::before_step(World& world, std::uint64_t steps_taken) {
+  if (scripted_) {
+    while (next_scripted_ < script_.size() &&
+           script_[next_scripted_].at_step <= steps_taken) {
+      const InjectedEvent& e = script_[next_scripted_++];
+      if (apply(world, e)) {
+        events_.push_back(e);
+      } else {
+        ++skipped_;  // target gone after earlier edits; best-effort replay
+      }
+    }
+    return;
+  }
+  roll(world, steps_taken);
+}
+
+void Injector::roll(World& world, std::uint64_t steps_taken) {
+  const double u = rng_.next_double();
+  double band = 0.0;
+  const auto in_band = [&](double p) {
+    band += p;
+    return u < band;
+  };
+
+  InjectedEvent e;
+  e.at_step = steps_taken;
+
+  if (in_band(mix_.crash)) {
+    if (crashed_.size() >= f_) return;
+    std::vector<std::uint32_t> live;
+    for (std::uint32_t i = 0; i < servers_.size(); ++i)
+      if (!crashed_.contains(servers_[i])) live.push_back(i);
+    if (live.empty()) return;
+    e.kind = InjectedEvent::Kind::kCrash;
+    e.server = live[rng_.next_below(live.size())];
+    record(world, e);
+    return;
+  }
+  if (in_band(mix_.recover)) {
+    std::vector<std::uint32_t> down;
+    for (std::uint32_t i = 0; i < servers_.size(); ++i)
+      if (crashed_.contains(servers_[i])) down.push_back(i);
+    if (down.empty()) return;
+    e.kind = InjectedEvent::Kind::kRecover;
+    e.server = down[rng_.next_below(down.size())];
+    record(world, e);
+    return;
+  }
+
+  const bool message_fault = [&] {
+    if (in_band(mix_.drop)) {
+      e.kind = InjectedEvent::Kind::kDrop;
+      return true;
+    }
+    if (in_band(mix_.duplicate)) {
+      e.kind = InjectedEvent::Kind::kDuplicate;
+      return true;
+    }
+    if (in_band(mix_.delay)) {
+      e.kind = InjectedEvent::Kind::kDelay;
+      return true;
+    }
+    return false;
+  }();
+  if (message_fault) {
+    const auto contents = world.channel_contents();
+    std::size_t total = 0;
+    for (const auto& [chan, depth] : contents) total += depth;
+    if (total == 0) return;
+    std::size_t pick = rng_.next_below(total);
+    for (const auto& [chan, depth] : contents) {
+      if (pick >= depth) {
+        pick -= depth;
+        continue;
+      }
+      e.src = chan.src.value;
+      e.dst = chan.dst.value;
+      e.index = static_cast<std::uint32_t>(pick);
+      record(world, e);
+      return;
+    }
+    MEMU_UNREACHABLE("message pick out of range");
+  }
+
+  if (in_band(mix_.partition)) {
+    if (partition_active_ || servers_.size() < 2) return;
+    const std::uint64_t all =
+        servers_.size() == 64 ? ~0ull : (1ull << servers_.size()) - 1;
+    const std::uint64_t bits = rng_.next_u64() & all;
+    if (bits == 0 || bits == all) return;  // not a proper split
+    e.kind = InjectedEvent::Kind::kPartition;
+    e.group_bits = bits;
+    record(world, e);
+    return;
+  }
+  if (in_band(mix_.heal)) {
+    if (!partition_active_) return;
+    e.kind = InjectedEvent::Kind::kHeal;
+    record(world, e);
+    return;
+  }
+}
+
+void Injector::record(World& world, InjectedEvent e) {
+  if (apply(world, e)) events_.push_back(e);
+}
+
+bool Injector::apply(World& world, const InjectedEvent& e) {
+  switch (e.kind) {
+    case InjectedEvent::Kind::kCrash: {
+      if (e.server >= servers_.size()) return false;
+      const NodeId id = servers_[e.server];
+      if (crashed_.size() >= f_ || crashed_.contains(id)) return false;
+      crashed_.insert(id);
+      world.crash(id);
+      break;
+    }
+    case InjectedEvent::Kind::kRecover: {
+      if (e.server >= servers_.size()) return false;
+      const NodeId id = servers_[e.server];
+      if (!crashed_.erase(id)) return false;
+      world.recover(id);
+      break;
+    }
+    case InjectedEvent::Kind::kDrop:
+    case InjectedEvent::Kind::kDuplicate:
+    case InjectedEvent::Kind::kDelay: {
+      const ChannelId chan{NodeId{e.src}, NodeId{e.dst}};
+      if (world.channel_depth(chan) <= e.index) return false;
+      if (e.kind == InjectedEvent::Kind::kDrop)
+        world.drop_message(chan, e.index);
+      else if (e.kind == InjectedEvent::Kind::kDuplicate)
+        world.duplicate_message(chan, e.index);
+      else
+        world.delay_message(chan, e.index);
+      break;
+    }
+    case InjectedEvent::Kind::kPartition: {
+      if (partition_active_ || e.group_bits == 0) return false;
+      for (std::size_t i = 0; i < servers_.size(); ++i)
+        if (e.group_bits & (1ull << i)) world.partition_add(servers_[i]);
+      partition_active_ = true;
+      break;
+    }
+    case InjectedEvent::Kind::kHeal: {
+      if (!partition_active_) return false;
+      world.heal_partition();
+      partition_active_ = false;
+      break;
+    }
+  }
+  world.log_fault(describe(e));
+  return true;
+}
+
+}  // namespace memu::fuzz

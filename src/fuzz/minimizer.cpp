@@ -1,0 +1,117 @@
+#include "fuzz/minimizer.h"
+
+#include <algorithm>
+
+#include "fuzz/campaign.h"
+
+namespace memu::fuzz {
+
+namespace {
+
+using Events = std::vector<InjectedEvent>;
+
+// Splits `events` into `n` contiguous chunks (first chunks one longer when
+// the split is uneven) and returns chunk `i`.
+Events chunk_of(const Events& events, std::size_t n, std::size_t i) {
+  const std::size_t base = events.size() / n;
+  const std::size_t extra = events.size() % n;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < i; ++c) begin += base + (c < extra ? 1 : 0);
+  const std::size_t len = base + (i < extra ? 1 : 0);
+  return Events(events.begin() + static_cast<std::ptrdiff_t>(begin),
+                events.begin() + static_cast<std::ptrdiff_t>(begin + len));
+}
+
+Events complement_of(const Events& events, std::size_t n, std::size_t i) {
+  const Events removed = chunk_of(events, n, i);
+  const std::size_t base = events.size() / n;
+  const std::size_t extra = events.size() % n;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < i; ++c) begin += base + (c < extra ? 1 : 0);
+  Events out;
+  out.reserve(events.size() - removed.size());
+  out.insert(out.end(), events.begin(),
+             events.begin() + static_cast<std::ptrdiff_t>(begin));
+  out.insert(out.end(),
+             events.begin() +
+                 static_cast<std::ptrdiff_t>(begin + removed.size()),
+             events.end());
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult minimize(const FuzzTrace& input) {
+  MinimizeResult result;
+  WalkResult last_violating;
+
+  const auto test = [&](const Events& events) {
+    FuzzTrace candidate = input;
+    candidate.events = events;
+    const WalkResult r = replay_trace(candidate);
+    ++result.tests_run;
+    const bool bad = !r.check.ok;
+    if (bad) last_violating = r;
+    return bad;
+  };
+
+  // The input must violate to begin with; otherwise return it unchanged.
+  if (!test(input.events)) {
+    result.trace = input;
+    result.still_violates = false;
+    return result;
+  }
+
+  // ddmin: try chunks, then complements, then refine granularity.
+  Events current = input.events;
+  std::size_t n = 2;
+  while (current.size() >= 2) {
+    bool reduced = false;
+    for (std::size_t i = 0; i < n && !reduced; ++i) {
+      const Events subset = chunk_of(current, n, i);
+      if (test(subset)) {
+        current = subset;
+        n = 2;
+        reduced = true;
+      }
+    }
+    if (!reduced && n > 2) {
+      for (std::size_t i = 0; i < n && !reduced; ++i) {
+        const Events rest = complement_of(current, n, i);
+        if (test(rest)) {
+          current = rest;
+          n = std::max<std::size_t>(n - 1, 2);
+          reduced = true;
+        }
+      }
+    }
+    if (!reduced) {
+      if (n >= current.size()) break;
+      n = std::min(current.size(), n * 2);
+    }
+  }
+
+  // 1-minimality sweep: drop single events until every one is load-bearing.
+  // Also discovers the empty script when the schedule alone violates.
+  for (std::size_t i = 0; i < current.size();) {
+    Events candidate = current;
+    candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+    if (test(candidate)) {
+      current = std::move(candidate);
+      i = 0;  // restart: earlier events may have become removable
+    } else {
+      ++i;
+    }
+  }
+  if (current.size() == 1) {
+    if (test({})) current.clear();
+  }
+
+  result.trace = last_violating.trace;
+  result.trace.campaign_seed = input.campaign_seed;
+  result.trace.walk_index = input.walk_index;
+  result.still_violates = true;
+  return result;
+}
+
+}  // namespace memu::fuzz

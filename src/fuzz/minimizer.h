@@ -1,0 +1,32 @@
+// Counterexample minimization: greedy delta debugging over the injected
+// events of a violating FuzzTrace.
+//
+// Classic ddmin (Zeller-Hildebrandt) over the event list, followed by a
+// single-event sweep, so the result is 1-minimal: removing ANY one
+// remaining event makes the violation disappear. Each candidate is tested
+// by scripted replay — fully deterministic, so minimization itself is
+// deterministic: same input trace, same minimized trace, same test count.
+//
+// The minimized trace may be EMPTY: a violation that the schedule alone
+// produces (e.g. abd-regular checked atomic) needs no faults, and ddmin
+// correctly strips all of them.
+#pragma once
+
+#include <cstddef>
+
+#include "fuzz/trace_io.h"
+
+namespace memu::fuzz {
+
+struct MinimizeResult {
+  FuzzTrace trace;            // minimized; violation fields refreshed
+  std::size_t tests_run = 0;  // replays spent shrinking
+  // True when the minimized trace still reproduces a violation. False only
+  // if the INPUT trace did not violate (nothing to shrink — input returned
+  // unchanged).
+  bool still_violates = false;
+};
+
+MinimizeResult minimize(const FuzzTrace& input);
+
+}  // namespace memu::fuzz

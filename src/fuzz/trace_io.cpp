@@ -1,0 +1,378 @@
+#include "fuzz/trace_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace memu::fuzz {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Writer
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_event(std::ostream& os, const InjectedEvent& e) {
+  os << "{\"at_step\": " << e.at_step << ", \"kind\": \""
+     << event_kind_name(e.kind) << '"';
+  switch (e.kind) {
+    case InjectedEvent::Kind::kCrash:
+    case InjectedEvent::Kind::kRecover:
+      os << ", \"server\": " << e.server;
+      break;
+    case InjectedEvent::Kind::kDrop:
+    case InjectedEvent::Kind::kDuplicate:
+    case InjectedEvent::Kind::kDelay:
+      os << ", \"src\": " << e.src << ", \"dst\": " << e.dst
+         << ", \"index\": " << e.index;
+      break;
+    case InjectedEvent::Kind::kPartition:
+      os << ", \"group_bits\": " << e.group_bits;
+      break;
+    case InjectedEvent::Kind::kHeal:
+      break;
+  }
+  os << '}';
+}
+
+// ---------------------------------------------------------------------------
+// Parser: a minimal recursive-descent JSON reader covering exactly what the
+// writer emits (objects, arrays, strings, unsigned integers, null). Keys may
+// arrive in any order; unknown keys are ignored so the format can grow.
+
+struct JsonValue {
+  enum class Type { kNull, kUint, kString, kArray, kObject };
+  Type type = Type::kNull;
+  std::uint64_t uint_val = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::ostringstream os;
+    os << "fuzz trace JSON: " << what << " at offset " << pos_;
+    throw std::runtime_error(os.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 'n') return null_value();
+    if (std::isdigit(static_cast<unsigned char>(c))) return number();
+    fail("unexpected character");
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = raw_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    v.str = raw_string();
+    return v;
+  }
+
+  std::string raw_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue null_value() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("expected null");
+    pos_ += 4;
+    return {};
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.type = JsonValue::Type::kUint;
+    std::uint64_t n = 0;
+    bool any = false;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      const std::uint64_t digit =
+          static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (n > (~0ull - digit) / 10) fail("integer overflow");
+      n = n * 10 + digit;
+      ++pos_;
+      any = true;
+    }
+    if (!any) fail("expected digits");
+    v.uint_val = n;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t require_uint(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kUint)
+    throw std::runtime_error("fuzz trace JSON: missing integer field '" + key +
+                             "'");
+  return v->uint_val;
+}
+
+std::uint64_t uint_or(const JsonValue& obj, const std::string& key,
+                      std::uint64_t fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kUint) return fallback;
+  return v->uint_val;
+}
+
+std::string require_string(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kString)
+    throw std::runtime_error("fuzz trace JSON: missing string field '" + key +
+                             "'");
+  return v->str;
+}
+
+InjectedEvent event_from_json(const JsonValue& obj) {
+  if (obj.type != JsonValue::Type::kObject)
+    throw std::runtime_error("fuzz trace JSON: event is not an object");
+  InjectedEvent e;
+  e.at_step = require_uint(obj, "at_step");
+  e.kind = event_kind_from_name(require_string(obj, "kind"));
+  e.server = static_cast<std::uint32_t>(uint_or(obj, "server", 0));
+  e.src = static_cast<std::uint32_t>(uint_or(obj, "src", 0));
+  e.dst = static_cast<std::uint32_t>(uint_or(obj, "dst", 0));
+  e.index = static_cast<std::uint32_t>(uint_or(obj, "index", 0));
+  e.group_bits = uint_or(obj, "group_bits", 0);
+  return e;
+}
+
+}  // namespace
+
+std::string trace_to_json(const FuzzTrace& t) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"format\": \"memu-fuzztrace-v1\",\n";
+  os << "  \"spec\": {\"algo\": ";
+  write_escaped(os, t.spec.algo);
+  os << ", \"n_servers\": " << t.spec.n_servers << ", \"f\": " << t.spec.f
+     << ", \"k\": " << t.spec.k << ", \"n_writers\": " << t.spec.n_writers
+     << ", \"n_readers\": " << t.spec.n_readers
+     << ", \"value_size\": " << t.spec.value_size << "},\n";
+  os << "  \"campaign_seed\": " << t.campaign_seed << ",\n";
+  os << "  \"walk_index\": " << t.walk_index << ",\n";
+  os << "  \"walk_seed\": " << t.walk_seed << ",\n";
+  os << "  \"max_steps\": " << t.max_steps << ",\n";
+  os << "  \"writes_per_writer\": " << t.writes_per_writer << ",\n";
+  os << "  \"reads_per_reader\": " << t.reads_per_reader << ",\n";
+  os << "  \"check\": \"" << check_kind_name(t.check) << "\",\n";
+  os << "  \"violation\": ";
+  write_escaped(os, t.violation);
+  os << ",\n";
+  os << "  \"first_divergence_op\": ";
+  if (t.first_divergence_op.has_value())
+    os << *t.first_divergence_op;
+  else
+    os << "null";
+  os << ",\n";
+  os << "  \"events\": [";
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ");
+    write_event(os, t.events[i]);
+  }
+  os << (t.events.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+FuzzTrace trace_from_json(const std::string& json) {
+  const JsonValue root = Parser(json).parse();
+  if (root.type != JsonValue::Type::kObject)
+    throw std::runtime_error("fuzz trace JSON: top level is not an object");
+  const std::string format = require_string(root, "format");
+  if (format != "memu-fuzztrace-v1")
+    throw std::runtime_error("fuzz trace JSON: unknown format '" + format +
+                             "'");
+
+  FuzzTrace t;
+  const JsonValue* spec = root.find("spec");
+  if (spec == nullptr || spec->type != JsonValue::Type::kObject)
+    throw std::runtime_error("fuzz trace JSON: missing 'spec' object");
+  t.spec.algo = require_string(*spec, "algo");
+  t.spec.n_servers = require_uint(*spec, "n_servers");
+  t.spec.f = require_uint(*spec, "f");
+  t.spec.k = uint_or(*spec, "k", 0);
+  t.spec.n_writers = require_uint(*spec, "n_writers");
+  t.spec.n_readers = require_uint(*spec, "n_readers");
+  t.spec.value_size = require_uint(*spec, "value_size");
+
+  t.campaign_seed = require_uint(root, "campaign_seed");
+  t.walk_index = require_uint(root, "walk_index");
+  t.walk_seed = require_uint(root, "walk_seed");
+  t.max_steps = require_uint(root, "max_steps");
+  t.writes_per_writer = require_uint(root, "writes_per_writer");
+  t.reads_per_reader = require_uint(root, "reads_per_reader");
+  t.check = check_kind_from_name(require_string(root, "check"));
+  t.violation = require_string(root, "violation");
+  const JsonValue* div = root.find("first_divergence_op");
+  if (div != nullptr && div->type == JsonValue::Type::kUint)
+    t.first_divergence_op = div->uint_val;
+
+  const JsonValue* events = root.find("events");
+  if (events == nullptr || events->type != JsonValue::Type::kArray)
+    throw std::runtime_error("fuzz trace JSON: missing 'events' array");
+  t.events.reserve(events->array.size());
+  for (const JsonValue& e : events->array)
+    t.events.push_back(event_from_json(e));
+  return t;
+}
+
+void save_trace(const FuzzTrace& t, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << trace_to_json(t);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+FuzzTrace load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return trace_from_json(buf.str());
+}
+
+}  // namespace memu::fuzz

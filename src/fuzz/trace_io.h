@@ -1,0 +1,56 @@
+// Replayable fuzz counterexamples and their JSON serialization.
+//
+// A FuzzTrace is everything needed to rebuild one violating walk from
+// nothing: the system spec, the walk seed that drives the scheduler, the
+// client quotas, and the injected-event script. Replay consumes no
+// randomness for injection (the events are scripted), so a saved trace
+// reproduces the violation exactly — on any machine, in any build.
+//
+// The JSON codec is hand-rolled (the repo takes no third-party
+// dependencies) and round-trip exact: trace_from_json(trace_to_json(t))
+// == t, and trace_to_json is byte-deterministic, which the campaign's
+// byte-identical-summary guarantee leans on. Parse errors throw
+// std::runtime_error with a position.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/injector.h"
+#include "fuzz/plan.h"
+
+namespace memu::fuzz {
+
+struct FuzzTrace {
+  SystemSpec spec;
+  std::uint64_t campaign_seed = 0;  // FuzzPlan::seed this walk derived from
+  std::size_t walk_index = 0;       // which walk of the campaign
+  std::uint64_t walk_seed = 0;      // seeds the walk's Scheduler
+  std::uint64_t max_steps = 0;
+  std::size_t writes_per_writer = 0;
+  std::size_t reads_per_reader = 0;
+  CheckKind check = CheckKind::kAtomic;
+  std::vector<InjectedEvent> events;
+
+  // What the checker said when the trace was recorded (informational; replay
+  // re-derives it).
+  std::string violation;
+  std::optional<std::uint64_t> first_divergence_op;
+
+  friend bool operator==(const FuzzTrace&, const FuzzTrace&) = default;
+};
+
+// Byte-deterministic pretty-printed JSON (fields in fixed order).
+std::string trace_to_json(const FuzzTrace& t);
+
+// Inverse of trace_to_json; accepts any whitespace/field order. Throws
+// std::runtime_error on malformed input or missing fields.
+FuzzTrace trace_from_json(const std::string& json);
+
+// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_trace(const FuzzTrace& t, const std::string& path);
+FuzzTrace load_trace(const std::string& path);
+
+}  // namespace memu::fuzz

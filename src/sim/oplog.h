@@ -31,14 +31,19 @@ namespace memu {
 enum class OpType : std::uint8_t { kRead, kWrite };
 
 struct OpEvent {
-  enum class Kind : std::uint8_t { kInvoke, kResponse };
+  // kFault marks an injected fault (crash, recover, drop, ...) at its
+  // position between operation events — written by World::log_fault, with
+  // the human-readable description in `value`. Fault events are part of the
+  // log (and its content hash) but are skipped by History::from_oplog and
+  // every consistency checker: they tag behavior, they are not operations.
+  enum class Kind : std::uint8_t { kInvoke, kResponse, kFault };
 
   Kind kind = Kind::kInvoke;
   NodeId client;
   std::uint64_t op_id = 0;  // unique per invocation within a World
   OpType type = OpType::kRead;
   // For a write invoke: the value written. For a read response: the value
-  // returned. Empty otherwise.
+  // returned. For a fault: the description bytes. Empty otherwise.
   Bytes value;
   std::uint64_t step = 0;  // world step count at which the event occurred
 };

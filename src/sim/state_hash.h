@@ -35,6 +35,7 @@ inline constexpr std::uint64_t kCrashedSeed = 0xd6e8feb86659fd93ull;
 inline constexpr std::uint64_t kFrozenSeed = 0xa5cb9243f0aed1b5ull;
 inline constexpr std::uint64_t kValueBlockedSeed = 0xc2b2ae3d27d4eb4full;
 inline constexpr std::uint64_t kBulkBlockedSeed = 0x165667b19e3779f9ull;
+inline constexpr std::uint64_t kPartitionSeed = 0x85ebca6b27d4eb4full;
 inline constexpr std::uint64_t kOplogSeed = 0x27d4eb2f165667c5ull;
 
 // Position key: domain seed x index, fully mixed. Used wherever a

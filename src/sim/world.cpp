@@ -29,6 +29,7 @@ World::World(const World& other)
       frozen_(other.frozen_),
       value_blocked_(other.value_blocked_),
       bulk_blocked_(other.bulk_blocked_),
+      partition_(other.partition_),
       oplog_(other.oplog_),
       tracing_(other.tracing_),
       trace_(other.trace_),
@@ -114,6 +115,7 @@ std::size_t World::first_allowed_index(
   if (queue.empty()) return kNoIndex;
   if (crashed_.contains(chan.dst)) return kNoIndex;  // held; dropped on delivery
   if (frozen_.contains(chan.src) || frozen_.contains(chan.dst)) return kNoIndex;
+  if (partition_blocks(chan)) return kNoIndex;
   const bool vblock = value_blocked_.contains(chan.src);
   const bool bblock = bulk_blocked_.contains(chan.src);
   if (!vblock && !bblock) return 0;
@@ -157,12 +159,23 @@ std::size_t World::channel_depth(ChannelId chan) const {
 
 std::size_t World::in_flight() const { return channels_.total_messages(); }
 
+std::vector<std::pair<ChannelId, std::size_t>> World::channel_contents()
+    const {
+  std::vector<std::pair<ChannelId, std::size_t>> out;
+  channels_.for_each_nonempty(
+      [&out](ChannelId chan, const ChannelTable::Queue& queue) {
+        out.emplace_back(chan, queue.size());
+      });
+  return out;
+}
+
 std::vector<std::size_t> World::deliverable_indices(ChannelId chan) const {
   std::vector<std::size_t> out;
   const ChannelTable::Queue* queue = channels_.find(chan);
   if (queue == nullptr) return out;
   if (crashed_.contains(chan.dst)) return out;
   if (frozen_.contains(chan.src) || frozen_.contains(chan.dst)) return out;
+  if (partition_blocks(chan)) return out;
   const bool vblock = value_blocked_.contains(chan.src);
   const bool bblock = bulk_blocked_.contains(chan.src);
   for (std::size_t i = 0; i < queue->size(); ++i) {
@@ -188,6 +201,8 @@ void World::deliver(ChannelId chan, std::size_t index) {
                  "no message at " << chan << "[" << index << "]");
   MEMU_CHECK_MSG(!frozen_.contains(chan.src) && !frozen_.contains(chan.dst),
                  "delivery on frozen channel " << chan);
+  MEMU_CHECK_MSG(!partition_blocks(chan),
+                 "delivery across partitioned channel " << chan);
   MEMU_CHECK_MSG(!value_blocked_.contains(chan.src) ||
                      !(*queue)[index].payload->value_dependent(),
                  "value-dependent delivery from value-blocked " << chan.src);
@@ -206,6 +221,38 @@ void World::deliver(ChannelId chan, std::size_t index) {
 
   Context ctx(*this, chan.dst);
   mutable_process(chan.dst).on_message(ctx, chan.src, *msg.payload);
+}
+
+void World::drop_message(ChannelId chan, std::size_t index) {
+  const ChannelTable::Queue* queue = channels_.find(chan);
+  MEMU_CHECK_MSG(queue != nullptr && index < queue->size(),
+                 "no message at " << chan << "[" << index << "] to drop");
+  channels_.pop(chan, index);
+}
+
+void World::duplicate_message(ChannelId chan, std::size_t index) {
+  const ChannelTable::Queue* queue = channels_.find(chan);
+  MEMU_CHECK_MSG(queue != nullptr && index < queue->size(),
+                 "no message at " << chan << "[" << index << "] to duplicate");
+  Message copy = (*queue)[index];
+  channels_.push(chan, std::move(copy));
+}
+
+void World::delay_message(ChannelId chan, std::size_t index) {
+  const ChannelTable::Queue* queue = channels_.find(chan);
+  MEMU_CHECK_MSG(queue != nullptr && index < queue->size(),
+                 "no message at " << chan << "[" << index << "] to delay");
+  if (index + 1 == queue->size()) return;  // already at the back
+  Message msg = channels_.pop(chan, index);
+  channels_.push(chan, std::move(msg));
+}
+
+void World::log_fault(const std::string& description) {
+  OpEvent e;
+  e.kind = OpEvent::Kind::kFault;
+  e.value.assign(description.begin(), description.end());
+  e.step = step_count_;
+  oplog_.append(std::move(e));
 }
 
 void World::invoke(NodeId client, Invocation inv) {
@@ -275,6 +322,7 @@ void World::encode_canonical_into(BufWriter& w) const {
   encode_set(frozen_);
   encode_set(value_blocked_);
   encode_set(bulk_blocked_);
+  encode_set(partition_);
   w.u64(oplog_.size());
   oplog_.for_each([&w](const OpEvent& e) {
     w.u8(static_cast<std::uint8_t>(e.kind));
@@ -323,6 +371,7 @@ std::uint64_t World::recompute_state_hash() const {
   fold_set(frozen_, statehash::kFrozenSeed);
   fold_set(value_blocked_, statehash::kValueBlockedSeed);
   fold_set(bulk_blocked_, statehash::kBulkBlockedSeed);
+  fold_set(partition_, statehash::kPartitionSeed);
   return mix64(procs ^ sets ^ channels_.recompute_content_hash() ^
                oplog_.recompute_content_hash());
 }

@@ -16,6 +16,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -68,6 +70,13 @@ class World {
   bool is_crashed(NodeId id) const { return crashed_.contains(id); }
   std::size_t crashed_count() const { return crashed_.size(); }
 
+  // Un-crash a node. Its process state is whatever it was at crash time;
+  // messages dropped while crashed stay lost (equivalent to channel loss to
+  // a slow-but-correct node, which the quorum protocols tolerate for
+  // safety). The fuzzer's crash/recover fault mix counts the f budget over
+  // CONCURRENTLY crashed servers, so recovery frees budget.
+  void recover(NodeId id) { toggle(crashed_.erase(id), statehash::kCrashedSeed, id); }
+
   // Freeze a node: messages to and from it are delayed indefinitely (the
   // paper's "all messages from and to the writer are delayed indefinitely").
   // Unlike a crash, nothing is dropped; unfreeze resumes delivery.
@@ -104,6 +113,29 @@ class World {
   }
   bool is_bulk_blocked(NodeId id) const { return bulk_blocked_.contains(id); }
 
+  // --- network partition ----------------------------------------------------
+  // A partition splits the nodes into the `partition_group` and its
+  // complement: while the group is non-empty, channels CROSSING the
+  // boundary deliver nothing (in either direction); channels within a side
+  // are unaffected. This is the classic two-sided network partition the
+  // fuzzer injects — unlike freeze, a partitioned node keeps exchanging
+  // messages with its own side.
+
+  void partition_add(NodeId id) {
+    toggle(partition_.insert(id), statehash::kPartitionSeed, id);
+  }
+  void partition_remove(NodeId id) {
+    toggle(partition_.erase(id), statehash::kPartitionSeed, id);
+  }
+  void heal_partition() {
+    partition_.for_each([this](NodeId id) {
+      sets_hash_ ^= statehash::member(statehash::kPartitionSeed, id.value);
+    });
+    partition_ = NodeSet{};
+  }
+  bool in_partition(NodeId id) const { return partition_.contains(id); }
+  std::size_t partition_size() const { return partition_.size(); }
+
   // --- channels ------------------------------------------------------------
 
   void enqueue(ChannelId chan, MessagePtr payload);
@@ -120,6 +152,12 @@ class World {
 
   // Total number of in-flight messages (including blocked ones).
   std::size_t in_flight() const;
+
+  // Non-empty channels and their depths, in canonical (src, dst) order —
+  // including channels whose delivery is currently blocked. The fuzz
+  // injector picks drop/duplicate/delay targets from this (a blocked
+  // message can still be lost or duplicated by the network).
+  std::vector<std::pair<ChannelId, std::size_t>> channel_contents() const;
 
   // Delivers the message at `index` on `chan` (0 = oldest). The destination
   // process reacts unless it is crashed (then the message is dropped).
@@ -141,6 +179,30 @@ class World {
   // permits. The paper's channels are NOT FIFO: reordering adversaries and
   // the explorer's reorder mode enumerate these.
   std::vector<std::size_t> deliverable_indices(ChannelId chan) const;
+
+  // --- fault-injection entry points -----------------------------------------
+  // Used by the fuzz Injector (src/fuzz/injector.h). None of these count as
+  // a delivery step; all keep the incremental state hash consistent.
+
+  // Removes the message at `index` on `chan` without delivering it
+  // (message loss).
+  void drop_message(ChannelId chan, std::size_t index);
+
+  // Re-enqueues a copy of the message at `index` on `chan` at the back of
+  // the same channel (network duplication; the payload is immutable and
+  // shared between the two in-flight copies).
+  void duplicate_message(ChannelId chan, std::size_t index);
+
+  // Moves the message at `index` on `chan` to the back of its queue. The
+  // model's channels are not FIFO, so this changes no protocol guarantee —
+  // only what FIFO-order schedulers see next (a delay/reorder fault).
+  void delay_message(ChannelId chan, std::size_t index);
+
+  // Appends an OpEvent::Kind::kFault marker to the oplog, tagging the point
+  // of an injected fault between the surrounding operation events. The
+  // consistency checkers and History::from_oplog skip fault events; fuzz
+  // trace rendering uses them to locate faults within the history.
+  void log_fault(const std::string& description);
 
   // --- invocations ----------------------------------------------------------
 
@@ -220,6 +282,12 @@ class World {
   std::size_t first_allowed_index(ChannelId chan,
                                   const ChannelTable::Queue& queue) const;
 
+  // Whether an active partition separates the endpoints of `chan`.
+  bool partition_blocks(ChannelId chan) const {
+    return !partition_.empty() &&
+           partition_.contains(chan.src) != partition_.contains(chan.dst);
+  }
+
   // XORs the membership component of (seed, id) into the failure-set hash
   // iff the set actually changed (NodeSet::insert/erase report that).
   void toggle(bool changed, std::uint64_t seed, NodeId id) {
@@ -254,6 +322,7 @@ class World {
   NodeSet frozen_;
   NodeSet value_blocked_;
   NodeSet bulk_blocked_;
+  NodeSet partition_;  // non-empty => cross-boundary channels are blocked
   OpLog oplog_;
   bool tracing_ = false;
   Trace trace_;

@@ -1,0 +1,121 @@
+// FuzzTrace JSON codec tests: exact round-trips, byte-determinism, and
+// rejection of malformed input.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "fuzz/trace_io.h"
+
+namespace memu::fuzz {
+namespace {
+
+FuzzTrace sample_trace() {
+  FuzzTrace t;
+  t.spec.algo = "abd-regular";
+  t.spec.n_servers = 7;
+  t.spec.f = 3;
+  t.spec.k = 1;
+  t.spec.n_writers = 2;
+  t.spec.n_readers = 3;
+  t.spec.value_size = 60;
+  t.campaign_seed = 2;
+  t.walk_index = 28;
+  t.walk_seed = 15180526183879991717ull;
+  t.max_steps = 20'000;
+  t.writes_per_writer = 4;
+  t.reads_per_reader = 6;
+  t.check = CheckKind::kAtomic;
+  t.violation = "no linearization \"quoted\"\n\ttabbed";
+  t.first_divergence_op = 12;
+
+  InjectedEvent crash;
+  crash.at_step = 5;
+  crash.kind = InjectedEvent::Kind::kCrash;
+  crash.server = 2;
+  InjectedEvent recover = crash;
+  recover.at_step = 9;
+  recover.kind = InjectedEvent::Kind::kRecover;
+  InjectedEvent drop;
+  drop.at_step = 11;
+  drop.kind = InjectedEvent::Kind::kDrop;
+  drop.src = 1;
+  drop.dst = 6;
+  drop.index = 3;
+  InjectedEvent dup = drop;
+  dup.kind = InjectedEvent::Kind::kDuplicate;
+  InjectedEvent delay = drop;
+  delay.kind = InjectedEvent::Kind::kDelay;
+  InjectedEvent part;
+  part.at_step = 20;
+  part.kind = InjectedEvent::Kind::kPartition;
+  part.group_bits = 0b1011;
+  InjectedEvent heal;
+  heal.at_step = 30;
+  heal.kind = InjectedEvent::Kind::kHeal;
+  t.events = {crash, recover, drop, dup, delay, part, heal};
+  return t;
+}
+
+TEST(TraceIo, RoundTripsEveryEventKind) {
+  const FuzzTrace t = sample_trace();
+  EXPECT_EQ(trace_from_json(trace_to_json(t)), t);
+}
+
+TEST(TraceIo, RoundTripsAbsentDivergenceOp) {
+  FuzzTrace t = sample_trace();
+  t.first_divergence_op.reset();
+  t.events.clear();
+  t.violation.clear();
+  EXPECT_EQ(trace_from_json(trace_to_json(t)), t);
+}
+
+TEST(TraceIo, SerializationIsByteDeterministic) {
+  const FuzzTrace t = sample_trace();
+  const std::string a = trace_to_json(t);
+  const std::string b = trace_to_json(trace_from_json(a));
+  EXPECT_EQ(a, b);
+}
+
+TEST(TraceIo, AcceptsReorderedFieldsAndWhitespace) {
+  // Field order is not part of the format contract.
+  const std::string json =
+      "{\"events\": [], \"check\": \"atomic\", \"violation\": \"v\",\n"
+      "  \"reads_per_reader\": 1, \"writes_per_writer\": 2,\n"
+      "  \"max_steps\": 10, \"walk_seed\": 3, \"walk_index\": 0,\n"
+      "  \"campaign_seed\": 7, \"format\": \"memu-fuzztrace-v1\",\n"
+      "  \"spec\": {\"algo\": \"abd\", \"n_servers\": 5, \"f\": 2,\n"
+      "            \"n_writers\": 1, \"n_readers\": 1, \"value_size\": 16}}";
+  const FuzzTrace t = trace_from_json(json);
+  EXPECT_EQ(t.campaign_seed, 7u);
+  EXPECT_EQ(t.spec.algo, "abd");
+  EXPECT_EQ(t.spec.k, 0u);  // optional field defaults
+  EXPECT_FALSE(t.first_divergence_op.has_value());
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  EXPECT_THROW(trace_from_json(""), std::runtime_error);
+  EXPECT_THROW(trace_from_json("{"), std::runtime_error);
+  EXPECT_THROW(trace_from_json("[1, 2]"), std::runtime_error);
+  EXPECT_THROW(trace_from_json("{\"format\": \"wrong\"}"), std::runtime_error);
+  // Valid JSON, missing required fields.
+  EXPECT_THROW(trace_from_json("{\"format\": \"memu-fuzztrace-v1\"}"),
+               std::runtime_error);
+  // Trailing garbage after the document.
+  std::string json = trace_to_json(sample_trace());
+  json += "x";
+  EXPECT_THROW(trace_from_json(json), std::runtime_error);
+}
+
+TEST(TraceIo, SaveAndLoadRoundTripThroughAFile) {
+  const FuzzTrace t = sample_trace();
+  const std::string path =
+      testing::TempDir() + "/memu_fuzz_trace_io_test.json";
+  save_trace(t, path);
+  EXPECT_EQ(load_trace(path), t);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_trace(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace memu::fuzz

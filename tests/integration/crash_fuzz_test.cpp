@@ -1,161 +1,93 @@
 // Crash-timing fuzz: up to f servers crash at random points DURING the
 // workload (not just at time zero). Safety must hold in every run; liveness
-// must hold because the total failure count stays within budget.
+// must hold because the concurrent failure count stays within budget.
+//
+// Runs as pinned-seed campaigns on the fuzz engine (fuzz::run_campaign with
+// a crashes-only fault mix) — the walk loop, crash timing, and f-budget
+// accounting all live in src/fuzz/ now instead of a private test harness.
 #include <gtest/gtest.h>
 
-#include "algo/abd/system.h"
-#include "algo/cas/system.h"
-#include "algo/strip/strip.h"
-#include "consistency/checker.h"
-#include "sim/scheduler.h"
-#include "workload/driver.h"
+#include "fuzz/campaign.h"
+#include "fuzz/plan.h"
 
-namespace memu {
+namespace memu::fuzz {
 namespace {
 
-// Drives clients like workload::run, but crashes `crash_at[i]` -> server
-// index i at the given delivery count. Returns the history, or nullopt if
-// quotas were not met.
-template <class System>
-std::optional<History> fuzz_run(System& sys, std::size_t writes_per_writer,
-                                std::size_t reads_per_reader,
-                                std::size_t value_size, std::uint64_t seed,
-                                const std::map<std::uint64_t, std::size_t>&
-                                    crash_at) {
-  Scheduler sched(Scheduler::Policy::kRandom, seed);
-  struct Client {
-    bool busy = false;
-    std::size_t issued = 0;
-  };
-  std::map<NodeId, Client> state;
-  for (const NodeId w : sys.writers) state[w] = {};
-  for (const NodeId r : sys.readers) state[r] = {};
+FuzzPlan crash_plan(std::uint64_t seed, std::size_t walks, std::size_t writes,
+                    std::size_t reads) {
+  FuzzPlan plan;
+  plan.seed = seed;
+  plan.walks = walks;
+  plan.max_steps = 500'000;
+  plan.writes_per_writer = writes;
+  plan.reads_per_reader = reads;
+  plan.check = CheckKind::kAtomic;
+  plan.mix = FaultMix::crashes_only(/*crash=*/0.01);
+  plan.minimize = false;  // violations here are test failures, not fixtures
+  return plan;
+}
 
-  std::size_t cursor = 0;
-  const std::size_t want = sys.writers.size() * writes_per_writer +
-                           sys.readers.size() * reads_per_reader;
-  std::size_t responses = 0;
-
-  for (std::uint64_t step = 0; step < 500000; ++step) {
-    const auto& events = sys.world.oplog().events();
-    for (; cursor < events.size(); ++cursor) {
-      const auto it = state.find(events[cursor].client);
-      if (it == state.end()) continue;
-      if (events[cursor].kind == OpEvent::Kind::kResponse) {
-        it->second.busy = false;
-        ++responses;
-      }
-    }
-    if (responses >= want) return History::from_oplog(sys.world.oplog());
-
-    for (std::size_t i = 0; i < sys.writers.size(); ++i) {
-      Client& c = state[sys.writers[i]];
-      if (c.busy || c.issued >= writes_per_writer) continue;
-      sys.world.invoke(sys.writers[i],
-                       {OpType::kWrite,
-                        unique_value(static_cast<std::uint32_t>(i + 1),
-                                     c.issued + 1, value_size)});
-      c.busy = true;
-      ++c.issued;
-    }
-    for (const NodeId r : sys.readers) {
-      Client& c = state[r];
-      if (c.busy || c.issued >= reads_per_reader) continue;
-      sys.world.invoke(r, {OpType::kRead, {}});
-      c.busy = true;
-      ++c.issued;
-    }
-
-    if (const auto hit = crash_at.find(sched.steps_taken());
-        hit != crash_at.end()) {
-      sys.world.crash(sys.servers[hit->second]);
-    }
-    if (!sched.step(sys.world)) break;
-  }
-  if (responses >= want) return History::from_oplog(sys.world.oplog());
-  return std::nullopt;
+void expect_safe_and_live(const SystemSpec& spec, const FuzzPlan& plan) {
+  const CampaignSummary s = run_campaign(spec, plan);
+  EXPECT_EQ(s.violations, 0u) << s.to_json();
+  EXPECT_EQ(s.completed_walks, plan.walks)
+      << "a walk lost liveness within the f budget:\n"
+      << s.to_json();
+  // The campaign must actually have crashed servers, or this test is a
+  // plain workload run in disguise.
+  EXPECT_GT(s.injected_total, 0u);
 }
 
 TEST(CrashFuzz, AbdSurvivesMidRunCrashes) {
-  for (std::uint64_t seed = 0; seed < 12; ++seed) {
-    abd::Options opt;
-    opt.n_servers = 7;
-    opt.f = 3;
-    opt.n_writers = 2;
-    opt.n_readers = 2;
-    abd::System sys = abd::make_system(opt);
-
-    Rng rng(seed * 1000 + 7);
-    std::map<std::uint64_t, std::size_t> crash_at;
-    // f distinct servers, crashing at random early/mid/late points.
-    std::set<std::size_t> chosen;
-    while (chosen.size() < opt.f) chosen.insert(rng.next_below(opt.n_servers));
-    std::uint64_t when = 5;
-    for (const std::size_t s : chosen) {
-      crash_at[when] = s;
-      when += 20 + rng.next_below(40);
-    }
-
-    const auto history =
-        fuzz_run(sys, 3, 3, opt.value_size, seed, crash_at);
-    ASSERT_TRUE(history.has_value()) << "seed " << seed << " lost liveness";
-    const auto verdict = check_atomic(*history, enum_value(0, opt.value_size));
-    EXPECT_TRUE(verdict.ok) << "seed " << seed << ": " << verdict.violation;
-  }
+  SystemSpec spec;
+  spec.algo = "abd";
+  spec.n_servers = 7;
+  spec.f = 3;
+  spec.n_writers = 2;
+  spec.n_readers = 2;
+  spec.value_size = 64;
+  expect_safe_and_live(spec, crash_plan(/*seed=*/1007, /*walks=*/12, 3, 3));
 }
 
 TEST(CrashFuzz, CasSurvivesMidRunCrashes) {
-  for (std::uint64_t seed = 0; seed < 8; ++seed) {
-    cas::Options opt;
-    opt.n_servers = 7;
-    opt.f = 2;
-    opt.k = 3;
-    opt.n_writers = 2;
-    opt.n_readers = 1;
-    cas::System sys = cas::make_system(opt);
-
-    Rng rng(seed * 31 + 5);
-    std::map<std::uint64_t, std::size_t> crash_at;
-    std::set<std::size_t> chosen;
-    while (chosen.size() < opt.f) chosen.insert(rng.next_below(opt.n_servers));
-    std::uint64_t when = 10;
-    for (const std::size_t s : chosen) {
-      crash_at[when] = s;
-      when += 30 + rng.next_below(50);
-    }
-
-    const auto history = fuzz_run(sys, 2, 2, opt.value_size, seed, crash_at);
-    ASSERT_TRUE(history.has_value()) << "seed " << seed;
-    EXPECT_TRUE(check_atomic(*history, enum_value(0, opt.value_size)).ok)
-        << seed;
-  }
+  SystemSpec spec;
+  spec.algo = "cas";
+  spec.n_servers = 7;
+  spec.f = 2;
+  spec.k = 3;
+  spec.n_writers = 2;
+  spec.n_readers = 1;
+  spec.value_size = 60;
+  expect_safe_and_live(spec, crash_plan(/*seed=*/315, /*walks=*/8, 2, 2));
 }
 
 TEST(CrashFuzz, StripSurvivesMidRunCrashes) {
-  for (std::uint64_t seed = 0; seed < 8; ++seed) {
-    strip::Options opt;
-    opt.n_servers = 7;
-    opt.f = 3;
-    opt.n_writers = 2;
-    opt.n_readers = 1;
-    strip::System sys = strip::make_system(opt);
+  SystemSpec spec;
+  spec.algo = "strip";
+  spec.n_servers = 7;
+  spec.f = 3;  // code dimension k = n - f = 4
+  spec.n_writers = 2;
+  spec.n_readers = 1;
+  spec.value_size = 60;
+  expect_safe_and_live(spec, crash_plan(/*seed=*/773, /*walks=*/8, 2, 2));
+}
 
-    Rng rng(seed * 77 + 3);
-    std::map<std::uint64_t, std::size_t> crash_at;
-    std::set<std::size_t> chosen;
-    while (chosen.size() < opt.f) chosen.insert(rng.next_below(opt.n_servers));
-    std::uint64_t when = 8;
-    for (const std::size_t s : chosen) {
-      crash_at[when] = s;
-      when += 25 + rng.next_below(60);
-    }
-
-    const auto history = fuzz_run(sys, 2, 2, opt.value_size, seed, crash_at);
-    ASSERT_TRUE(history.has_value()) << "seed " << seed;
-    EXPECT_TRUE(check_atomic(*history, enum_value(0, opt.value_size)).ok)
-        << seed;
-  }
+TEST(CrashFuzz, CrashRecoverChurnStaysAtomic) {
+  // Beyond the ported cases: recovery frees the budget, so churn keeps the
+  // concurrent count within f while total crash events exceed it.
+  SystemSpec spec;
+  spec.algo = "abd";
+  spec.n_servers = 5;
+  spec.f = 2;
+  spec.n_writers = 2;
+  spec.n_readers = 2;
+  spec.value_size = 64;
+  FuzzPlan plan = crash_plan(/*seed=*/4242, /*walks=*/8, 3, 3);
+  plan.mix = FaultMix::crashes_only(/*crash=*/0.02, /*recover=*/0.02);
+  const CampaignSummary s = run_campaign(spec, plan);
+  EXPECT_EQ(s.violations, 0u) << s.to_json();
+  EXPECT_GT(s.injected_total, 0u);
 }
 
 }  // namespace
-}  // namespace memu
+}  // namespace memu::fuzz
