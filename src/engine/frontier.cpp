@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <mutex>
-#include <thread>
 #include <utility>
 
 #include "common/check.h"
 #include "common/hash.h"
 #include "engine/replay.h"
+#include "engine/thread_pool.h"
 #include "engine/visited.h"
 
 namespace memu::engine {
@@ -236,103 +235,31 @@ class Search {
     }
   }
 
-  // Parallel mode: per-worker deques with randomized work stealing. Each
-  // worker pops from the back of its OWN deque (LIFO — depth-first
-  // locality, children visited right after their parent) and pushes a
-  // visited node's children back in one batch under one uncontended lock.
-  // Only when its deque runs dry does a worker touch shared state: it
-  // scans victims in a per-worker pseudorandom order and steals the FRONT
-  // node of the first non-empty deque — the shallowest, largest-subtree
-  // node, so one steal buys the longest private runway. `in_flight_`
-  // counts nodes that exist (queued anywhere or being visited); children
-  // are added to it BEFORE their parent is retired, so it reaches 0 only
-  // when the search is exhausted — the termination signal, with no global
-  // queue, no condvar, and no lock on the happy path except the owner's
-  // own (uncontended) deque mutex.
+  // Parallel mode: the shared work-stealing pool (engine/thread_pool.h —
+  // per-worker deques, randomized front steals, atomic in-flight
+  // termination; the machinery was extracted from here so the fuzz
+  // campaign runner drains through the same implementation). Children are
+  // batch-submitted onto the visiting worker's own deque before the
+  // parent retires.
   //
   // Counter guarantees are unchanged from the shared-queue engine: every
   // generated node is popped exactly once by some worker, and dedupe is
   // atomic per state, so states/terminals/transitions/deduped match the
   // sequential run regardless of thread count or steal order.
-  struct WorkerDeque {
-    std::mutex mu;
-    std::vector<Node> nodes;  // back = owner end, front = steal end
-  };
-
   void run_parallel(Node&& root) {
-    deques_.clear();
-    for (std::size_t i = 0; i < opt_.threads; ++i)
-      deques_.push_back(std::make_unique<WorkerDeque>());
-    in_flight_.store(1);
-    deques_[0]->nodes.push_back(std::move(root));
-
-    std::vector<std::thread> workers;
-    workers.reserve(opt_.threads);
-    for (std::size_t i = 0; i < opt_.threads; ++i)
-      workers.emplace_back([this, i] { worker(i); });
-    for (auto& w : workers) w.join();
-  }
-
-  bool try_pop_local(std::size_t id, Node& out) {
-    WorkerDeque& d = *deques_[id];
-    std::lock_guard<std::mutex> lock(d.mu);
-    if (d.nodes.empty()) return false;
-    out = std::move(d.nodes.back());
-    d.nodes.pop_back();
-    return true;
-  }
-
-  bool try_steal(std::size_t id, std::uint64_t& rng, Node& out) {
-    const std::size_t n = deques_.size();
-    rng = mix64(rng + 0x9e3779b97f4a7c15ull);
-    const std::size_t start = rng % n;
-    for (std::size_t k = 0; k < n; ++k) {
-      const std::size_t victim = (start + k) % n;
-      if (victim == id) continue;
-      WorkerDeque& d = *deques_[victim];
-      std::lock_guard<std::mutex> lock(d.mu);
-      if (d.nodes.empty()) continue;
-      out = std::move(d.nodes.front());
-      d.nodes.erase(d.nodes.begin());
-      return true;
-    }
-    return false;
-  }
-
-  void worker(std::size_t id) {
-    std::uint64_t rng = mix64(id ^ 0xd6e8feb86659fd93ull);
-    std::vector<Node> children;
-    std::size_t idle = 0;
-    for (;;) {
-      if (aborted_.load()) return;
-      Node node;
-      if (!try_pop_local(id, node) && !try_steal(id, rng, node)) {
-        if (in_flight_.load() == 0) return;  // nothing queued, nothing running
-        // Brief spin, then sleep: on saturated hardware (or 1 core) idle
-        // thieves must yield the CPU to whoever holds the work.
-        if (++idle < 16) {
-          std::this_thread::yield();
-        } else {
-          std::this_thread::sleep_for(std::chrono::microseconds(100));
-        }
-        continue;
+    WorkStealingPool<Node> pool(opt_.threads);
+    pool.seed(std::move(root));
+    pool.run([this, &pool](std::size_t id, Node&& node) {
+      if (aborted_.load()) {
+        pool.stop();
+        return;
       }
-      idle = 0;
-
+      // One child buffer per worker thread, reused across visits.
+      static thread_local std::vector<Node> children;
       children.clear();
       visit(node, [&](Node&& child) { children.push_back(std::move(child)); });
-
-      if (!children.empty()) {
-        // Publish children before retiring the parent so in_flight_ never
-        // touches 0 mid-expansion.
-        in_flight_.fetch_add(children.size());
-        WorkerDeque& d = *deques_[id];
-        std::lock_guard<std::mutex> lock(d.mu);
-        for (auto it = children.rbegin(); it != children.rend(); ++it)
-          d.nodes.push_back(std::move(*it));
-      }
-      in_flight_.fetch_sub(1);
-    }
+      pool.submit(id, children);
+    });
   }
 
   const ExploreOptions& opt_;
@@ -341,8 +268,6 @@ class Search {
   VisitedSet visited_;
 
   std::vector<Node> frontier_;  // sequential mode only
-  std::vector<std::unique_ptr<WorkerDeque>> deques_;  // parallel mode only
-  std::atomic<std::size_t> in_flight_{0};  // queued + executing nodes
 
   std::atomic<std::size_t> states_visited_{0};
   std::atomic<std::size_t> terminal_states_{0};

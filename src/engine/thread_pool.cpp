@@ -1,0 +1,13 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+
+namespace memu::engine {
+
+std::size_t default_worker_count(std::size_t cap) {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (cap == 0) cap = 1;
+  return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, cap);
+}
+
+}  // namespace memu::engine

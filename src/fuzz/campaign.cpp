@@ -1,7 +1,6 @@
 #include "fuzz/campaign.h"
 
 #include <map>
-#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -12,7 +11,9 @@
 #include "common/check.h"
 #include "common/hash.h"
 #include "engine/scheduler.h"
+#include "engine/thread_pool.h"
 #include "fuzz/minimizer.h"
+#include "sim/cow_stats.h"
 
 namespace memu::fuzz {
 
@@ -88,6 +89,32 @@ FuzzSystem make_fuzz_system(const SystemSpec& spec) {
 
 namespace {
 
+// Per-worker-thread prototype cache: constructing a FuzzSystem from
+// scratch re-runs process construction and channel-table setup for every
+// walk, but all walks of a campaign share one spec — so each worker
+// builds the prototype once and serves every further walk on that spec
+// from a COW copy of it (World copies are pointer bumps). A copy is
+// state-identical to a fresh build because make_fuzz_system is a pure
+// function of the spec, so walk behavior — and therefore every pinned
+// seed — is unchanged. cowstats meters the saved constructions.
+const FuzzSystem& prototype_system(const SystemSpec& spec) {
+  struct Cache {
+    bool valid = false;
+    SystemSpec spec;
+    FuzzSystem sys;
+  };
+  static thread_local Cache cache;
+  if (!cache.valid || cache.spec != spec) {
+    cache.sys = make_fuzz_system(spec);
+    cache.spec = spec;
+    cache.valid = true;
+    cowstats::note_fuzz_system_build();
+  } else {
+    cowstats::note_fuzz_system_reuse();
+  }
+  return cache.sys;
+}
+
 CheckResult run_check(CheckKind kind, const History& h, const Value& initial) {
   switch (kind) {
     case CheckKind::kAtomic: return check_atomic(h, initial);
@@ -110,12 +137,13 @@ constexpr std::size_t kStallGrace = 1'000;
 
 // The core walk, shared verbatim by random campaigns and scripted replay —
 // identical loop, identical scheduler policy, so a recorded trace replays
-// the exact execution.
-WalkResult run_walk(const SystemSpec& spec, CheckKind check_kind,
-                    std::uint64_t walk_seed, std::uint64_t max_steps,
-                    std::size_t writes_per_writer, std::size_t reads_per_reader,
-                    Injector& injector) {
-  FuzzSystem sys = make_fuzz_system(spec);
+// the exact execution. `proto` is the cached prototype; the walk runs on
+// a COW copy of it.
+WalkResult run_walk(const FuzzSystem& proto, const SystemSpec& spec,
+                    CheckKind check_kind, std::uint64_t walk_seed,
+                    std::uint64_t max_steps, std::size_t writes_per_writer,
+                    std::size_t reads_per_reader, Injector& injector) {
+  FuzzSystem sys = proto;
   World& world = sys.world;
 
   Scheduler sched(Scheduler::Policy::kRandomReorder, walk_seed);
@@ -210,16 +238,29 @@ WalkResult run_walk(const SystemSpec& spec, CheckKind check_kind,
 
 }  // namespace
 
-WalkResult replay_trace(const FuzzTrace& trace) {
-  FuzzSystem sys = make_fuzz_system(trace.spec);  // for the server list only
-  Injector injector(sys.servers, trace.spec.f, trace.events);
+WalkResult replay_trace_with(const FuzzTrace& trace,
+                             const std::vector<InjectedEvent>& events) {
+  const FuzzSystem& proto = prototype_system(trace.spec);
+  // Reusable replay buffer: the scripted injector owns its script, so one
+  // per-thread vector round-trips through every probe — assign() reuses
+  // its capacity, release_script() reclaims it. A ddmin run's thousands
+  // of replays share a single script allocation per worker.
+  static thread_local std::vector<InjectedEvent> script_buffer;
+  script_buffer.assign(events.begin(), events.end());
+  Injector injector(proto.servers, trace.spec.f, std::move(script_buffer));
   WalkResult r =
-      run_walk(trace.spec, trace.check, trace.walk_seed, trace.max_steps,
-               trace.writes_per_writer, trace.reads_per_reader, injector);
+      run_walk(proto, trace.spec, trace.check, trace.walk_seed,
+               trace.max_steps, trace.writes_per_writer,
+               trace.reads_per_reader, injector);
+  script_buffer = injector.release_script();
   r.trace.campaign_seed = trace.campaign_seed;
   r.trace.walk_index = trace.walk_index;
   r.walk_index = trace.walk_index;
   return r;
+}
+
+WalkResult replay_trace(const FuzzTrace& trace) {
+  return replay_trace_with(trace, trace.events);
 }
 
 CampaignSummary run_campaign(const SystemSpec& spec, const FuzzPlan& plan) {
@@ -227,27 +268,36 @@ CampaignSummary run_campaign(const SystemSpec& spec, const FuzzPlan& plan) {
   CampaignSummary summary;
   summary.spec = spec;
   summary.plan = plan;
-  summary.walks.reserve(plan.walks);
 
-  for (std::size_t i = 0; i < plan.walks; ++i) {
+  // Every walk is a pure function of (spec, plan, walk_seed): dispatch
+  // them onto the work-stealing pool and write each result into its own
+  // slot. Violating walks minimize inside their own task (the minimizer
+  // runs serially there — walk-level parallelism already owns the cores).
+  std::vector<WalkResult> walks(plan.walks);
+  engine::parallel_for(plan.threads, plan.walks, [&](std::size_t i) {
     const std::uint64_t walk_seed = walk_seed_for(plan.seed, i);
-    FuzzSystem sys = make_fuzz_system(spec);  // for the server list only
-    Injector injector(sys.servers, spec.f, plan.mix,
+    const FuzzSystem& proto = prototype_system(spec);
+    Injector injector(proto.servers, spec.f, plan.mix,
                       injection_seed_for(walk_seed));
     WalkResult r =
-        run_walk(spec, plan.check, walk_seed, plan.max_steps,
+        run_walk(proto, spec, plan.check, walk_seed, plan.max_steps,
                  plan.writes_per_writer, plan.reads_per_reader, injector);
     r.walk_index = i;
     r.trace.campaign_seed = plan.seed;
     r.trace.walk_index = i;
 
-    if (!r.check.ok) {
-      ++summary.violations;
-      if (plan.minimize) {
-        const MinimizeResult m = minimize(r.trace);
-        if (m.still_violates) r.trace = m.trace;
-      }
+    if (!r.check.ok && plan.minimize) {
+      const MinimizeResult m = minimize(r.trace);
+      if (m.still_violates) r.trace = m.trace;
     }
+    walks[i] = std::move(r);
+  });
+
+  // Merge in walk_index order: aggregates — and therefore to_json() — are
+  // byte-identical to the serial run for any thread count.
+  summary.walks.reserve(plan.walks);
+  for (WalkResult& r : walks) {
+    if (!r.check.ok) ++summary.violations;
     if (r.completed) ++summary.completed_walks;
     summary.injected_total += r.injected;
     summary.steps_total += r.steps;
@@ -257,42 +307,70 @@ CampaignSummary run_campaign(const SystemSpec& spec, const FuzzPlan& plan) {
 }
 
 std::string CampaignSummary::to_json() const {
-  std::ostringstream os;
-  os << "{\n";
-  os << "  \"spec\": {\"algo\": \"" << spec.algo
-     << "\", \"n_servers\": " << spec.n_servers << ", \"f\": " << spec.f
-     << ", \"k\": " << spec.k << ", \"n_writers\": " << spec.n_writers
-     << ", \"n_readers\": " << spec.n_readers
-     << ", \"value_size\": " << spec.value_size << "},\n";
-  os << "  \"plan\": {\"seed\": " << plan.seed << ", \"walks\": " << plan.walks
-     << ", \"max_steps\": " << plan.max_steps
-     << ", \"writes_per_writer\": " << plan.writes_per_writer
-     << ", \"reads_per_reader\": " << plan.reads_per_reader
-     << ", \"check\": \"" << check_kind_name(plan.check)
-     << "\", \"minimize\": " << (plan.minimize ? "true" : "false") << "},\n";
-  os << "  \"violations\": " << violations << ",\n";
-  os << "  \"completed_walks\": " << completed_walks << ",\n";
-  os << "  \"injected_total\": " << injected_total << ",\n";
-  os << "  \"steps_total\": " << steps_total << ",\n";
-  os << "  \"walks\": [";
+  // Streamed into one reserved std::string: every field is an unsigned
+  // integer, a bool, or a known-clean name, so append + std::to_string
+  // produces bytes identical to the former ostringstream (without its
+  // per-chunk reallocation churn). ~96 bytes covers a passing walk row;
+  // violating rows stay under the headroom the fixed part leaves.
+  std::string out;
+  out.reserve(512 + walks.size() * 160);
+  const auto num = [&out](const char* key, std::uint64_t v) {
+    out += ", \"";
+    out += key;
+    out += "\": ";
+    out += std::to_string(v);
+  };
+  out += "{\n  \"spec\": {\"algo\": \"";
+  out += spec.algo;
+  out += '"';
+  num("n_servers", spec.n_servers);
+  num("f", spec.f);
+  num("k", spec.k);
+  num("n_writers", spec.n_writers);
+  num("n_readers", spec.n_readers);
+  num("value_size", spec.value_size);
+  out += "},\n  \"plan\": {\"seed\": ";
+  out += std::to_string(plan.seed);
+  num("walks", plan.walks);
+  num("max_steps", plan.max_steps);
+  num("writes_per_writer", plan.writes_per_writer);
+  num("reads_per_reader", plan.reads_per_reader);
+  out += ", \"check\": \"";
+  out += check_kind_name(plan.check);
+  out += "\", \"minimize\": ";
+  out += plan.minimize ? "true" : "false";
+  out += "},\n  \"violations\": ";
+  out += std::to_string(violations);
+  out += ",\n  \"completed_walks\": ";
+  out += std::to_string(completed_walks);
+  out += ",\n  \"injected_total\": ";
+  out += std::to_string(injected_total);
+  out += ",\n  \"steps_total\": ";
+  out += std::to_string(steps_total);
+  out += ",\n  \"walks\": [";
   for (std::size_t i = 0; i < walks.size(); ++i) {
     const WalkResult& w = walks[i];
-    os << (i == 0 ? "\n    " : ",\n    ");
-    os << "{\"walk\": " << w.walk_index << ", \"seed\": " << w.walk_seed
-       << ", \"completed\": " << (w.completed ? "true" : "false")
-       << ", \"steps\": " << w.steps << ", \"injected\": " << w.injected
-       << ", \"ops\": " << w.ops << ", \"ok\": "
-       << (w.check.ok ? "true" : "false");
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += "{\"walk\": ";
+    out += std::to_string(w.walk_index);
+    num("seed", w.walk_seed);
+    out += ", \"completed\": ";
+    out += w.completed ? "true" : "false";
+    num("steps", w.steps);
+    num("injected", w.injected);
+    num("ops", w.ops);
+    out += ", \"ok\": ";
+    out += w.check.ok ? "true" : "false";
     if (!w.check.ok) {
-      os << ", \"minimized_events\": " << w.trace.events.size();
+      num("minimized_events", w.trace.events.size());
       if (w.check.first_divergence_op.has_value())
-        os << ", \"first_divergence_op\": " << *w.check.first_divergence_op;
+        num("first_divergence_op", *w.check.first_divergence_op);
     }
-    os << '}';
+    out += '}';
   }
-  os << (walks.empty() ? "]\n" : "\n  ]\n");
-  os << "}\n";
-  return os.str();
+  out += walks.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
 }
 
 }  // namespace memu::fuzz

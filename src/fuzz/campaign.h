@@ -17,6 +17,14 @@
 // replay_trace() reruns a recorded trace with a *scripted* injector — same
 // walk seed, same event script, no randomness — and reproduces the walk
 // exactly. The minimizer and the CLI `replay` verb are both built on it.
+//
+// Parallelism: walks are independent pure functions of (spec, plan,
+// walk_seed), so FuzzPlan::threads dispatches them onto the shared
+// engine::WorkStealingPool and the results merge back in walk_index
+// order. The summary and every trace are byte-identical for any thread
+// count. Each worker thread keeps one prototype FuzzSystem per spec and
+// serves walks from COW copies of it (cowstats::fuzz_system_builds /
+// fuzz_system_reuses meter the saved construction work).
 #pragma once
 
 #include <string>
@@ -80,6 +88,13 @@ CampaignSummary run_campaign(const SystemSpec& spec, const FuzzPlan& plan);
 // carries a fresh check verdict and a trace whose events are the subset
 // that actually applied.
 WalkResult replay_trace(const FuzzTrace& trace);
+
+// replay_trace with the trace's event script swapped for `events` — the
+// minimizer's probe primitive. Equivalent to copying the trace and
+// replacing its events, without reallocating the rest of the trace; the
+// script passes through a reused per-thread replay buffer.
+WalkResult replay_trace_with(const FuzzTrace& trace,
+                             const std::vector<InjectedEvent>& events);
 
 // Derived seeds, exposed so tests can pin walks: scheduler and injector
 // draw from independent streams.

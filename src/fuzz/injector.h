@@ -84,6 +84,13 @@ class Injector {
   // Scripted events whose target had disappeared and were skipped.
   std::size_t skipped() const { return skipped_; }
 
+  // Reclaims the scripted-event buffer (capacity included) once the walk
+  // is done. replay_trace keeps one such buffer per worker thread and
+  // round-trips it through every probe, so a minimization run's thousands
+  // of scripted replays share a single script allocation. The injector is
+  // spent afterwards.
+  std::vector<InjectedEvent> release_script() { return std::move(script_); }
+
   // Servers currently crashed (the budget NodeSet) — exposed for the
   // f-budget tests.
   std::size_t crashed_now() const { return crashed_.size(); }

@@ -1,7 +1,9 @@
 #include "fuzz/minimizer.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "engine/thread_pool.h"
 #include "fuzz/campaign.h"
 
 namespace memu::fuzz {
@@ -9,6 +11,8 @@ namespace memu::fuzz {
 namespace {
 
 using Events = std::vector<InjectedEvent>;
+
+constexpr std::size_t kNoCandidate = static_cast<std::size_t>(-1);
 
 // Splits `events` into `n` contiguous chunks (first chunks one longer when
 // the split is uneven) and returns chunk `i`.
@@ -41,22 +45,32 @@ Events complement_of(const Events& events, std::size_t n, std::size_t i) {
 
 }  // namespace
 
-MinimizeResult minimize(const FuzzTrace& input) {
+MinimizeResult minimize(const FuzzTrace& input, std::size_t threads) {
   MinimizeResult result;
   WalkResult last_violating;
 
-  const auto test = [&](const Events& events) {
-    FuzzTrace candidate = input;
-    candidate.events = events;
-    const WalkResult r = replay_trace(candidate);
-    ++result.tests_run;
-    const bool bad = !r.check.ok;
-    if (bad) last_violating = r;
-    return bad;
+  // One ddmin round: replay every candidate (concurrently when threads >
+  // 1) and commit the LOWEST-index violator. All launched probes count
+  // toward tests_run whether or not an earlier index already violated, so
+  // both the count and the commit choice are thread-count-independent.
+  const auto probe_round =
+      [&](const std::vector<Events>& candidates) -> std::size_t {
+    std::vector<WalkResult> probes(candidates.size());
+    engine::parallel_for(threads, candidates.size(), [&](std::size_t i) {
+      probes[i] = replay_trace_with(input, candidates[i]);
+    });
+    result.tests_run += candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (!probes[i].check.ok) {
+        last_violating = std::move(probes[i]);
+        return i;
+      }
+    }
+    return kNoCandidate;
   };
 
   // The input must violate to begin with; otherwise return it unchanged.
-  if (!test(input.events)) {
+  if (probe_round({input.events}) == kNoCandidate) {
     result.trace = input;
     result.still_violates = false;
     return result;
@@ -66,45 +80,46 @@ MinimizeResult minimize(const FuzzTrace& input) {
   Events current = input.events;
   std::size_t n = 2;
   while (current.size() >= 2) {
-    bool reduced = false;
-    for (std::size_t i = 0; i < n && !reduced; ++i) {
-      const Events subset = chunk_of(current, n, i);
-      if (test(subset)) {
-        current = subset;
-        n = 2;
-        reduced = true;
+    std::vector<Events> chunks;
+    chunks.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) chunks.push_back(chunk_of(current, n, i));
+    std::size_t hit = probe_round(chunks);
+    if (hit != kNoCandidate) {
+      current = std::move(chunks[hit]);
+      n = 2;
+      continue;
+    }
+    if (n > 2) {
+      std::vector<Events> rests;
+      rests.reserve(n);
+      for (std::size_t i = 0; i < n; ++i)
+        rests.push_back(complement_of(current, n, i));
+      hit = probe_round(rests);
+      if (hit != kNoCandidate) {
+        current = std::move(rests[hit]);
+        n = std::max<std::size_t>(n - 1, 2);
+        continue;
       }
     }
-    if (!reduced && n > 2) {
-      for (std::size_t i = 0; i < n && !reduced; ++i) {
-        const Events rest = complement_of(current, n, i);
-        if (test(rest)) {
-          current = rest;
-          n = std::max<std::size_t>(n - 1, 2);
-          reduced = true;
-        }
-      }
-    }
-    if (!reduced) {
-      if (n >= current.size()) break;
-      n = std::min(current.size(), n * 2);
-    }
+    if (n >= current.size()) break;
+    n = std::min(current.size(), n * 2);
   }
 
-  // 1-minimality sweep: drop single events until every one is load-bearing.
-  // Also discovers the empty script when the schedule alone violates.
-  for (std::size_t i = 0; i < current.size();) {
-    Events candidate = current;
-    candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
-    if (test(candidate)) {
-      current = std::move(candidate);
-      i = 0;  // restart: earlier events may have become removable
-    } else {
-      ++i;
+  // 1-minimality sweep: each round probes every single-event removal of
+  // the current script and commits the lowest removable index, until no
+  // event is removable. Equivalent to the classic restart-at-zero sweep —
+  // and it discovers the empty script when the schedule alone violates.
+  while (!current.empty()) {
+    std::vector<Events> removals;
+    removals.reserve(current.size());
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      Events candidate = current;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      removals.push_back(std::move(candidate));
     }
-  }
-  if (current.size() == 1) {
-    if (test({})) current.clear();
+    const std::size_t hit = probe_round(removals);
+    if (hit == kNoCandidate) break;
+    current = std::move(removals[hit]);
   }
 
   result.trace = last_violating.trace;

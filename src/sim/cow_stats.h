@@ -32,6 +32,13 @@ struct Snapshot {
   // exists so the fingerprint-mode explorer performs ZERO of these per
   // node; tests and benches pin that via this counter.
   std::uint64_t canonical_encodings = 0;
+  // Fuzz-walk scratch reuse: a campaign worker builds one prototype
+  // FuzzSystem per spec from scratch (a `build`) and serves every further
+  // walk on that spec from a COW copy of the prototype (a `reuse` — pointer
+  // bumps instead of re-running process construction). The reuse:build
+  // ratio is the allocation churn the prototype cache removes.
+  std::uint64_t fuzz_system_builds = 0;
+  std::uint64_t fuzz_system_reuses = 0;
 
   std::uint64_t detaches() const {
     return process_detaches + queue_detaches + oplog_detaches;
@@ -44,6 +51,8 @@ struct Snapshot {
     a.oplog_detaches -= b.oplog_detaches;
     a.bytes_copied -= b.bytes_copied;
     a.canonical_encodings -= b.canonical_encodings;
+    a.fuzz_system_builds -= b.fuzz_system_builds;
+    a.fuzz_system_reuses -= b.fuzz_system_reuses;
     return a;
   }
 };
@@ -55,6 +64,8 @@ inline std::atomic<std::uint64_t> queue_detaches{0};
 inline std::atomic<std::uint64_t> oplog_detaches{0};
 inline std::atomic<std::uint64_t> bytes_copied{0};
 inline std::atomic<std::uint64_t> canonical_encodings{0};
+inline std::atomic<std::uint64_t> fuzz_system_builds{0};
+inline std::atomic<std::uint64_t> fuzz_system_reuses{0};
 }  // namespace detail
 
 inline void note_world_copy() {
@@ -80,6 +91,14 @@ inline void note_canonical_encoding() {
   detail::canonical_encodings.fetch_add(1, std::memory_order_relaxed);
 }
 
+inline void note_fuzz_system_build() {
+  detail::fuzz_system_builds.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void note_fuzz_system_reuse() {
+  detail::fuzz_system_reuses.fetch_add(1, std::memory_order_relaxed);
+}
+
 inline Snapshot snapshot() {
   Snapshot s;
   s.world_copies = detail::world_copies.load(std::memory_order_relaxed);
@@ -90,6 +109,10 @@ inline Snapshot snapshot() {
   s.bytes_copied = detail::bytes_copied.load(std::memory_order_relaxed);
   s.canonical_encodings =
       detail::canonical_encodings.load(std::memory_order_relaxed);
+  s.fuzz_system_builds =
+      detail::fuzz_system_builds.load(std::memory_order_relaxed);
+  s.fuzz_system_reuses =
+      detail::fuzz_system_reuses.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -100,6 +123,8 @@ inline void reset() {
   detail::oplog_detaches.store(0, std::memory_order_relaxed);
   detail::bytes_copied.store(0, std::memory_order_relaxed);
   detail::canonical_encodings.store(0, std::memory_order_relaxed);
+  detail::fuzz_system_builds.store(0, std::memory_order_relaxed);
+  detail::fuzz_system_reuses.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace memu::cowstats

@@ -1,12 +1,15 @@
-// TSan smoke for the parallel frontier explorer: run the ABD write||read
-// state space with 8 worker threads (several times, to give the scheduler
-// room to interleave) and check the counters against the sequential run.
-// Built as a plain binary (no gtest) so it can be compiled standalone with
+// TSan smoke for the shared work-stealing pool's two clients: the parallel
+// frontier explorer (ABD write||read state space with 8 workers, several
+// times, checked against the sequential counters) and a 4-thread fuzz
+// campaign (checked byte-for-byte against the serial summary). Built as a
+// plain binary (no gtest) so it can be compiled standalone with
 // -fsanitize=thread; exits non-zero on any mismatch.
 #include <cstdio>
+#include <string>
 
 #include "algo/abd/system.h"
 #include "engine/frontier.h"
+#include "fuzz/campaign.h"
 
 namespace {
 
@@ -45,8 +48,26 @@ int main() {
       return 1;
     }
   }
+  // Fuzz-campaign round: the pool's other client. 4 workers race over the
+  // walk indices (and the per-thread prototype cache and replay buffers)
+  // while the summary must stay byte-identical to the serial run.
+  memu::fuzz::SystemSpec spec;
+  spec.algo = "abd";
+  memu::fuzz::FuzzPlan plan;
+  plan.seed = 13;
+  plan.walks = 24;
+  plan.max_steps = 10'000;
+  const std::string serial_json = memu::fuzz::run_campaign(spec, plan).to_json();
+  plan.threads = 4;
+  const std::string parallel_json =
+      memu::fuzz::run_campaign(spec, plan).to_json();
+  if (parallel_json != serial_json) {
+    std::fprintf(stderr,
+                 "fuzz campaign summary diverged between 1 and 4 threads\n");
+    return 1;
+  }
   std::printf("tsan smoke ok: %zu states, parallel == sequential x4 "
-              "(fingerprint + exact)\n",
+              "(fingerprint + exact); 4-thread campaign byte-identical\n",
               seq.states_visited);
   return 0;
 }

@@ -54,6 +54,48 @@ TEST(Campaign, SummariesAreByteIdenticalAcrossRuns) {
     EXPECT_EQ(trace_to_json(a.walks[i].trace), trace_to_json(b.walks[i].trace));
 }
 
+TEST(Campaign, SummariesAreByteIdenticalAcrossThreadCounts) {
+  // FuzzPlan::threads is a wall-clock knob only: each walk is a pure
+  // function of (spec, plan, walk_seed) and results merge in walk_index
+  // order, so the summary and every trace render byte-identically for any
+  // worker count.
+  SystemSpec spec;
+  spec.algo = "abd";
+  FuzzPlan plan;
+  plan.seed = 7;
+  plan.walks = 12;
+  plan.max_steps = 10'000;
+  plan.threads = 1;
+  const CampaignSummary serial = run_campaign(spec, plan);
+  const std::string expect = serial.to_json();
+  for (const std::size_t threads : {2, 4, 8}) {
+    FuzzPlan p = plan;
+    p.threads = threads;
+    const CampaignSummary s = run_campaign(spec, p);
+    EXPECT_EQ(s.to_json(), expect) << "threads=" << threads;
+    ASSERT_EQ(s.walks.size(), serial.walks.size());
+    for (std::size_t i = 0; i < s.walks.size(); ++i)
+      EXPECT_EQ(trace_to_json(s.walks[i].trace),
+                trace_to_json(serial.walks[i].trace))
+          << "threads=" << threads << " walk=" << i;
+  }
+}
+
+TEST(Campaign, ParallelCampaignMinimizesIdentically) {
+  // The pinned violating campaign with minimization ON, serial vs 4
+  // workers: in-walk minimization must not perturb the byte-identity
+  // contract.
+  FuzzPlan serial_plan = violating_plan();
+  serial_plan.minimize = true;
+  FuzzPlan parallel_plan = serial_plan;
+  parallel_plan.threads = 4;
+  const CampaignSummary a = run_campaign(violating_spec(), serial_plan);
+  const CampaignSummary b = run_campaign(violating_spec(), parallel_plan);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  ASSERT_GE(b.violations, 1u);
+  EXPECT_TRUE(b.walks[28].trace.events.empty());
+}
+
 TEST(Campaign, DifferentSeedsDiverge) {
   SystemSpec spec;
   spec.algo = "abd";

@@ -99,6 +99,33 @@ TEST(Minimizer, OneMinimalityHoldsForTheResult) {
   }
 }
 
+TEST(Minimizer, ParallelShrinkMatchesSerial) {
+  // Round-based probing commits the lowest-index violating candidate and
+  // counts every launched probe, so the minimized trace and tests_run are
+  // identical for every thread count.
+  const FuzzTrace input = hand_built_counterexample();
+  const MinimizeResult serial = minimize(input, 1);
+  for (const std::size_t threads : {2, 4, 8}) {
+    const MinimizeResult par = minimize(input, threads);
+    EXPECT_EQ(par.tests_run, serial.tests_run) << "threads=" << threads;
+    EXPECT_EQ(par.still_violates, serial.still_violates);
+    EXPECT_EQ(trace_to_json(par.trace), trace_to_json(serial.trace))
+        << "threads=" << threads;
+  }
+}
+
+TEST(Minimizer, OneMinimalityHoldsAtFourThreads) {
+  // Same definition-level check as above, on the concurrently-probed path.
+  const MinimizeResult m = minimize(hand_built_counterexample(), 4);
+  ASSERT_TRUE(m.still_violates);
+  for (std::size_t i = 0; i < m.trace.events.size(); ++i) {
+    FuzzTrace probe = m.trace;
+    probe.events.erase(probe.events.begin() + static_cast<std::ptrdiff_t>(i));
+    EXPECT_TRUE(replay_trace(probe).check.ok)
+        << "event " << i << " is removable — not 1-minimal";
+  }
+}
+
 TEST(Minimizer, NonViolatingInputIsReturnedUnchanged) {
   FuzzTrace t = violating_base_trace();
   t.spec.algo = "abd";  // two-phase reads: genuinely atomic

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
 
 #include "fuzz/trace_io.h"
@@ -105,6 +106,22 @@ TEST(TraceIo, RejectsMalformedInput) {
   std::string json = trace_to_json(sample_trace());
   json += "x";
   EXPECT_THROW(trace_from_json(json), std::runtime_error);
+}
+
+TEST(TraceIo, SavePreservesSerializedByteSize) {
+  // save_trace writes exactly trace_to_json(t) — no buffering slack or
+  // truncation — so the on-disk byte count must equal the string length,
+  // and the reloaded trace must serialize back to the same size.
+  const FuzzTrace t = sample_trace();
+  const std::string json = trace_to_json(t);
+  const std::string path =
+      testing::TempDir() + "/memu_fuzz_trace_size_test.json";
+  save_trace(t, path);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  ASSERT_TRUE(in);
+  EXPECT_EQ(static_cast<std::size_t>(in.tellg()), json.size());
+  EXPECT_EQ(trace_to_json(load_trace(path)).size(), json.size());
+  std::remove(path.c_str());
 }
 
 TEST(TraceIo, SaveAndLoadRoundTripThroughAFile) {

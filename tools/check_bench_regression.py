@@ -26,6 +26,7 @@ BENCHES = [
     "BENCH_explore_exhaustive.json",
     "BENCH_proof_harness_41.json",
     "BENCH_proof_harness_65.json",
+    "BENCH_fuzz.json",
 ]
 
 failures = []
@@ -113,6 +114,50 @@ def check_explore(cur, base, tol):
         base["cow_copy_reduction_x"], tol)
 
 
+def check_fuzz(cur, base, tol):
+    # Determinism is a hard invariant: a summary or minimized trace that
+    # differs across thread counts is a correctness bug, not a slowdown.
+    if not cur.get("thread_determinism_ok", False):
+        fail("campaign summary diverged across thread counts")
+    else:
+        ok("campaign summaries byte-identical across thread counts")
+    if not cur.get("minimize", {}).get("determinism_ok", False):
+        fail("minimizer output diverged across thread counts")
+    else:
+        ok("minimizer deterministic across thread counts")
+    if cur.get("walks") != base.get("walks"):
+        ok(
+            f"walk count {cur.get('walks')} != baseline {base.get('walks')} "
+            "(smoke run?) — skipping throughput gates"
+        )
+        return
+    check_lower_bound(
+        "walks_per_sec", cur["walks_per_sec"], base["walks_per_sec"], tol)
+    check_lower_bound(
+        "minimize_probes_per_sec", cur["minimize_probes_per_sec"],
+        base["minimize_probes_per_sec"], tol)
+    # Per-thread-count throughput, same rationale as the explore scaling
+    # gate: a pool regression at any width should fail.
+    base_scaling = {s["threads"]: s for s in base.get("scaling", [])}
+    for s in cur.get("scaling", []):
+        b = base_scaling.get(s["threads"])
+        if b is None:
+            ok(f"scaling threads={s['threads']} has no baseline, skipping")
+            continue
+        check_lower_bound(
+            f"scaling threads={s['threads']} walks_per_sec",
+            s["walks_per_sec"], b["walks_per_sec"], tol)
+    # tests_run is deterministic in the input trace, so it must match the
+    # baseline exactly when the pinned counterexample is unchanged.
+    cur_tests = cur.get("minimize", {}).get("tests_run")
+    base_tests = base.get("minimize", {}).get("tests_run")
+    if base_tests is not None and cur_tests != base_tests:
+        fail(f"minimize tests_run {cur_tests} != baseline {base_tests} "
+             "(ddmin reduction sequence changed)")
+    else:
+        ok(f"minimize tests_run == {base_tests}")
+
+
 def check_harness(cur, base, tol):
     base_cases = {c["case"]: c for c in base["cases"]}
     for case in cur["cases"]:
@@ -154,7 +199,9 @@ def main():
             continue
         base = json.loads(base_path.read_text())
         cur = json.loads(cur_path.read_text())
-        if "runs" in base:
+        if base.get("bench") == "fuzz":
+            check_fuzz(cur, base, args.tolerance)
+        elif "runs" in base:
             check_explore(cur, base, args.tolerance)
         else:
             check_harness(cur, base, args.tolerance)

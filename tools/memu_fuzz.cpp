@@ -4,18 +4,25 @@
 //                 [--writes Q] [--reads Q] [--check atomic|regular-swsr|
 //                 weakly-regular] [--n N] [--f F] [--k K] [--writers W]
 //                 [--readers R] [--value-bytes B] [--mix standard|crashes]
-//                 [--no-minimize] [--out-dir DIR] [--expect-violations]
+//                 [--threads T] [--no-minimize] [--out-dir DIR]
+//                 [--expect-violations]
 //       Run one deterministic campaign per algo. The summary JSON on stdout
-//       is byte-identical across runs with the same flags (timing goes to
-//       stderr). Violating walks are minimized (unless --no-minimize) and
-//       written to DIR/FUZZTRACE_<algo>_<walk>.json. Exit 0 when no
-//       violations were found (inverted by --expect-violations).
+//       is byte-identical across runs with the same flags AND any --threads
+//       value (timing and thread count go to stderr). Violating walks are
+//       minimized (unless --no-minimize) and written to
+//       DIR/FUZZTRACE_<algo>_<walk>.json. Exit 0 when no violations were
+//       found (inverted by --expect-violations).
 //
 //   memu_fuzz replay <trace.json>
 //       Re-execute a recorded trace. Exit 0 iff the violation reproduces.
 //
-//   memu_fuzz shrink <trace.json> [--out FILE]
-//       Delta-debug a trace to a 1-minimal event script.
+//   memu_fuzz shrink <trace.json> [--out FILE] [--threads T]
+//       Delta-debug a trace to a 1-minimal event script. --threads probes
+//       each ddmin round concurrently; the minimized trace and replay count
+//       are identical for any value.
+//
+// --threads defaults to the hardware concurrency (capped at 8); pass
+// --threads 1 to force serial execution.
 #include <chrono>
 #include <iostream>
 #include <map>
@@ -23,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/thread_pool.h"
 #include "fuzz/campaign.h"
 #include "fuzz/minimizer.h"
 #include "fuzz/plan.h"
@@ -76,11 +84,13 @@ int usage() {
       << "                     [--n N] [--f F] [--k K] [--writers W]"
       << " [--readers R]\n"
       << "                     [--value-bytes B] [--mix standard|crashes]\n"
-      << "                     [--no-minimize] [--out-dir DIR]"
-      << " [--expect-violations]\n"
+      << "                     [--threads T] [--no-minimize] [--out-dir DIR]\n"
+      << "                     [--expect-violations]\n"
       << "       memu_fuzz replay <trace.json>\n"
-      << "       memu_fuzz shrink <trace.json> [--out FILE]\n"
-      << "algos: abd abd-regular cas ldr strip\n";
+      << "       memu_fuzz shrink <trace.json> [--out FILE] [--threads T]\n"
+      << "algos: abd abd-regular cas ldr strip\n"
+      << "--threads defaults to hardware concurrency (capped at 8); output\n"
+      << "is byte-identical for any value\n";
   return 2;
 }
 
@@ -138,18 +148,21 @@ int cmd_run(const Args& a) {
                                 : spec.default_check();
     plan.mix = mix;
     plan.minimize = !a.has("no-minimize");
+    plan.threads = a.num("threads", engine::default_worker_count());
 
     const auto t0 = std::chrono::steady_clock::now();
     const CampaignSummary summary = run_campaign(spec, plan);
     const auto t1 = std::chrono::steady_clock::now();
 
     std::cout << summary.to_json();
-    // Wall-clock stays OFF stdout so summaries compare byte-identical.
+    // Wall-clock and thread count stay OFF stdout so summaries compare
+    // byte-identical across runs and --threads values.
     const double secs =
         std::chrono::duration<double>(t1 - t0).count();
-    std::cerr << algo << ": " << summary.plan.walks << " walks, "
-              << summary.steps_total << " deliveries, "
-              << summary.violations << " violations in " << secs << "s ("
+    std::cerr << algo << ": " << summary.plan.walks << " walks ("
+              << plan.threads << " threads), " << summary.steps_total
+              << " deliveries, " << summary.violations << " violations in "
+              << secs << "s ("
               << (secs > 0 ? static_cast<double>(summary.plan.walks) / secs
                            : 0)
               << " walks/s)\n";
@@ -195,7 +208,13 @@ int cmd_replay(const Args& a) {
 int cmd_shrink(const Args& a) {
   if (a.positional.size() < 2) return usage();
   const FuzzTrace trace = load_trace(a.positional[1]);
-  const MinimizeResult m = minimize(trace);
+  const std::size_t threads = a.num("threads", engine::default_worker_count());
+  const auto t0 = std::chrono::steady_clock::now();
+  const MinimizeResult m = minimize(trace, threads);
+  const auto t1 = std::chrono::steady_clock::now();
+  std::cerr << "shrink: " << m.tests_run << " replays (" << threads
+            << " threads) in "
+            << std::chrono::duration<double>(t1 - t0).count() << "s\n";
   std::cout << "shrink of " << a.positional[1] << ":\n"
             << "  events:     " << trace.events.size() << " -> "
             << m.trace.events.size() << "\n"
