@@ -11,6 +11,8 @@
 // Results land in BENCH_fuzz.json (see bench_json.h) for the CI regression
 // gate. Scaling beyond 1x is bounded by the host's core count, which is
 // recorded alongside — a 1-core runner legitimately reports ~1x.
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -202,6 +204,13 @@ int main() {
                .set("parallel4_seconds", min_parallel_secs)
                .set("determinism_ok", minimize_ok))
       .set("minimize_probes_per_sec", probes_per_sec);
+  {
+    // Peak RSS of the whole bench process: the memory number the --mem
+    // regression gate tracks alongside the explore benches'.
+    rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    root.set("peak_rss_kb", static_cast<std::uint64_t>(ru.ru_maxrss));
+  }
   benchjson::write("fuzz", root);
   return determinism_ok && minimize_ok ? 0 : 1;
 }

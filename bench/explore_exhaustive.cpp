@@ -23,6 +23,7 @@
 #include "algo/abd/system.h"
 #include "algo/cas/system.h"
 #include "bench_json.h"
+#include "common/arena.h"
 #include "common/table.h"
 #include "consistency/checker.h"
 #include "sim/cow_stats.h"
@@ -44,6 +45,13 @@ std::size_t env_max_states(std::size_t def) {
   }
   return def;
 }
+
+// Budget for the --mem engine run: `--mem <bytes|512M|4G>` on the command
+// line, MEMU_MEM_BUDGET in the environment, else 64 MiB — deliberately
+// below the ~115 MB the unbudgeted exact-mode visited set measures on the
+// full CAS space, so the budgeted run is evidence the contract holds where
+// the old engine could not fit.
+MemBudget g_mem_budget{64ull << 20};
 
 void report(const std::string& name, const ExploreResult& r,
             bool expect_violation = false) {
@@ -264,9 +272,21 @@ void engine_benchmark() {
   ExploreOptions exact = base;
   exact.exact_dedupe = true;
 
+  // --mem contract evidence: the same space (a) under the hard g_mem_budget
+  // cap — visited set fitted to half of it up front, frontier share derived
+  // — and (b) under a deliberately tiny explicit frontier share that forces
+  // spill/reload cycles through the temp file. Both must reproduce the
+  // unbudgeted counters byte-for-byte.
+  ExploreOptions mem = base;
+  mem.mem = g_mem_budget;
+  ExploreOptions spill = base;
+  spill.frontier_budget_bytes = 16ull << 10;
+
   const TimedExplore s = timed_explore(seq);
   const TimedExplore p = timed_explore(par);
   const TimedExplore e = timed_explore(exact);
+  const TimedExplore m = timed_explore(mem);
+  const TimedExplore sp = timed_explore(spill);
 
   // Work-stealing scaling curve: the same space at 1/2/4/8 workers (the 1-
   // and 8-thread points reuse the runs above). How far the curve climbs is
@@ -280,11 +300,16 @@ void engine_benchmark() {
   const TimedExplore t4 = timed_explore(four);
   scaling = {{1, &s}, {2, &t2}, {4, &t4}, {8, &p}};
 
-  const bool counts_match = s.result.states_visited == p.result.states_visited &&
-                            s.result.terminal_states == p.result.terminal_states &&
-                            s.result.ok == p.result.ok &&
-                            s.result.transitions == p.result.transitions &&
-                            s.result.deduped == p.result.deduped;
+  const auto sem_match = [&s](const TimedExplore& t) {
+    return s.result.states_visited == t.result.states_visited &&
+           s.result.terminal_states == t.result.terminal_states &&
+           s.result.ok == t.result.ok &&
+           s.result.transitions == t.result.transitions &&
+           s.result.deduped == t.result.deduped &&
+           s.result.complete == t.result.complete;
+  };
+  const bool counts_match = sem_match(p);
+  const bool budget_counts_match = sem_match(m) && sem_match(sp);
   const double speedup = p.seconds > 0 ? s.seconds / p.seconds : 0;
   // Both operands are VisitedSet::memory_bytes() of their own mode: the
   // ratio compares the exact-mode footprint against the fingerprint-mode
@@ -327,7 +352,17 @@ void engine_benchmark() {
             << s.cow.detaches() << " detaches, " << per_state(s)
             << " bytes copied/state (deep-copy equivalent "
             << deep_copy_bytes_per_state << " -> " << copy_reduction
-            << "x less)\n";
+            << "x less)\n"
+            << "    --mem " << g_mem_budget.to_string()
+            << ": visited=" << m.result.dedupe_bytes
+            << " B, frontier peak=" << m.result.frontier_bytes
+            << " B, counters "
+            << (sem_match(m) ? "IDENTICAL to unbudgeted" : "MISMATCH") << '\n'
+            << "    spill (16K frontier share): " << sp.result.spill_batches
+            << " batches / " << sp.result.spilled_nodes
+            << " nodes through disk, counters "
+            << (sem_match(sp) ? "IDENTICAL to unbudgeted" : "MISMATCH")
+            << '\n';
 
   auto run_json = [&per_state](const char* mode,
                                const TimedExplore& t) -> benchjson::Json {
@@ -349,6 +384,14 @@ void engine_benchmark() {
         .set("dedupe_mode", t.result.exact_dedupe ? "exact" : "fingerprint")
         .set("dedupe_entries", t.result.dedupe_entries)
         .set("dedupe_bytes", t.result.dedupe_bytes)
+        // Memory-contract telemetry: exact allocated visited-set bytes
+        // (same number dedupe_bytes now reports — kept under the name the
+        // --mem gates use), the peak accounted in-memory frontier bytes,
+        // and the disk-spill volume a frontier budget produced.
+        .set("visited_bytes", t.result.dedupe_bytes)
+        .set("frontier_bytes", t.result.frontier_bytes)
+        .set("spill_batches", t.result.spill_batches)
+        .set("spilled_nodes", t.result.spilled_nodes)
         .set("world_copies", t.cow.world_copies)
         .set("cow_detaches", t.cow.detaches())
         .set("cow_bytes_copied", t.cow.bytes_copied)
@@ -385,9 +428,13 @@ void engine_benchmark() {
       .set("runs", benchjson::Json::array()
                        .push(run_json("sequential_fingerprint", s))
                        .push(run_json("parallel8_fingerprint", p))
-                       .push(run_json("sequential_exact", e)))
+                       .push(run_json("sequential_exact", e))
+                       .push(run_json("sequential_fingerprint_mem", m))
+                       .push(run_json("sequential_spill16k", sp)))
       .set("scaling", scaling_json)
       .set("parallel_counters_match_sequential", counts_match)
+      .set("mem_budget", g_mem_budget.to_string())
+      .set("budgeted_counters_match_sequential", budget_counts_match)
       .set("parallel_speedup_x", speedup)
       .set("exact_over_fingerprint_dedupe_bytes_x", exact_over_fp)
       .set("state_encoding_bytes", s.state_bytes)
@@ -399,7 +446,21 @@ void engine_benchmark() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Budget precedence: the explicit flag beats the environment beats the
+  // 64 MiB default.
+  if (const char* env = std::getenv("MEMU_MEM_BUDGET")) {
+    g_mem_budget = MemBudget::parse(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mem" && i + 1 < argc) {
+      g_mem_budget = MemBudget::parse(argv[++i]);
+    } else {
+      std::cerr << "usage: explore_exhaustive [--mem <bytes|512M|4G>]\n";
+      return 2;
+    }
+  }
   std::cout << "=== Exhaustive interleaving exploration (all FIFO "
                "schedules, canonical-state dedup) ===\n\n";
   abd_exhaustive();

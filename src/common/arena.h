@@ -1,0 +1,174 @@
+// Bounded memory: MemBudget (the `--mem` contract every tool shares) and
+// Arena (a pre-allocated bump/pool allocator that enforces it).
+//
+// The exploration engine must fit a user-supplied memory budget the way
+// mccortex's cmd_mem fits its k-mer hash to `-m`: size every structure to
+// its share of the budget UP FRONT, run with zero per-allocation metadata,
+// and fail loudly — with a sizing diagnostic naming the budget that would
+// have sufficed — instead of OOMing hours into a run. Arena is the
+// allocation half of that contract (in the spirit of datakit's membound
+// pool allocator, minus the buddy free list: exploration structures are
+// append-only, so a bump pointer is exact and free). MemBudget is the
+// parsing/partitioning half.
+//
+// Concurrency: one Arena is NOT thread-safe. Workers that allocate
+// concurrently carve per-worker sub-arenas (`carve()`) out of one parent up
+// front; each sub-arena is then owner-exclusive with no locking and no
+// per-alloc bookkeeping beyond the bump offset.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <string>
+#include <type_traits>
+
+#include "common/check.h"
+
+namespace memu {
+
+// A byte budget threaded from `--mem` down to every sized structure.
+// total == 0 means unbudgeted: structures grow on demand (the legacy
+// behavior); any nonzero total is a HARD cap enforced by Arena/VisitedSet/
+// frontier spilling, never a hint.
+struct MemBudget {
+  std::size_t total = 0;
+
+  bool bounded() const { return total != 0; }
+
+  // Flag grammar: a decimal count with an optional K/M/G suffix (powers of
+  // 1024, case-insensitive; an optional trailing B is accepted). "512M",
+  // "4G", "65536", "16kb". Throws ContractError on anything else — a
+  // silently misparsed budget is worse than no budget.
+  static MemBudget parse(const std::string& text);
+
+  // Human-readable rendering for diagnostics: exact when the byte count is
+  // a whole K/M/G multiple ("64M"), raw bytes otherwise.
+  std::string to_string() const;
+};
+
+inline MemBudget MemBudget::parse(const std::string& text) {
+  MEMU_CHECK_MSG(!text.empty(), "empty --mem value");
+  std::size_t pos = 0;
+  std::uint64_t n = 0;
+  bool any_digit = false;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    const std::uint64_t digit = static_cast<std::uint64_t>(text[pos] - '0');
+    MEMU_CHECK_MSG(n <= (UINT64_MAX - digit) / 10,
+                   "--mem value overflows: '" << text << "'");
+    n = n * 10 + digit;
+    any_digit = true;
+    ++pos;
+  }
+  MEMU_CHECK_MSG(any_digit, "--mem wants <bytes|512M|4G>, got '" << text << "'");
+  std::uint64_t scale = 1;
+  if (pos < text.size()) {
+    switch (text[pos]) {
+      case 'k': case 'K': scale = 1ull << 10; ++pos; break;
+      case 'm': case 'M': scale = 1ull << 20; ++pos; break;
+      case 'g': case 'G': scale = 1ull << 30; ++pos; break;
+      default: break;
+    }
+    if (pos < text.size() && (text[pos] == 'b' || text[pos] == 'B')) ++pos;
+  }
+  MEMU_CHECK_MSG(pos == text.size(),
+                 "--mem wants <bytes|512M|4G>, got '" << text << "'");
+  MEMU_CHECK_MSG(scale == 1 || n <= UINT64_MAX / scale,
+                 "--mem value overflows: '" << text << "'");
+  return MemBudget{static_cast<std::size_t>(n * scale)};
+}
+
+inline std::string MemBudget::to_string() const {
+  if (total == 0) return "unbounded";
+  constexpr std::size_t kG = 1ull << 30, kM = 1ull << 20, kK = 1ull << 10;
+  if (total % kG == 0) return std::to_string(total / kG) + "G";
+  if (total % kM == 0) return std::to_string(total / kM) + "M";
+  if (total % kK == 0) return std::to_string(total / kK) + "K";
+  return std::to_string(total);
+}
+
+// A bounded bump allocator over one pre-allocated region. alloc() is a
+// pointer bump (zero per-allocation metadata — used() is exact accounting,
+// not an estimate); exceeding the capacity is a contract violation carrying
+// a sizing diagnostic, never a silent heap fallback. There is no free():
+// exploration structures are append-only and die with the arena (or are
+// dropped wholesale via reset()).
+class Arena {
+ public:
+  // Root arena: owns `capacity` bytes allocated once, here.
+  Arena(std::size_t capacity, std::string name)
+      : name_(std::move(name)),
+        owned_(std::make_unique<std::uint8_t[]>(capacity)),
+        base_(owned_.get()),
+        capacity_(capacity) {}
+
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  // Carves a child arena out of this one: the child manages [p, p+capacity)
+  // bump-allocated from the parent, with its own name for diagnostics. The
+  // parent must outlive the child. This is how per-worker/per-shard
+  // sub-arenas split one --mem share without locks: carve once up front,
+  // then every owner allocates from its own region.
+  Arena carve(std::size_t capacity, std::string name) {
+    return Arena(std::move(name),
+                 static_cast<std::uint8_t*>(
+                     alloc(capacity, alignof(std::max_align_t))),
+                 capacity);
+  }
+
+  // Bump-allocates `bytes` aligned to `align` (a power of two). CHECK-fails
+  // with the arena name, the request, and the occupancy when the region
+  // cannot fit it — the caller's budget was too small, and the message says
+  // so in --mem terms.
+  void* alloc(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    // Align the absolute address, not the offset — the backing region's own
+    // alignment (new[] gives max_align_t at best) must not leak into the
+    // caller's alignment guarantee.
+    const std::uintptr_t cur = reinterpret_cast<std::uintptr_t>(base_) + used_;
+    const std::size_t aligned = used_ + (((cur + (align - 1)) & ~(std::uintptr_t{align} - 1)) - cur);
+    MEMU_CHECK_MSG(
+        aligned + bytes <= capacity_,
+        "arena '" << name_ << "' exhausted: requested " << bytes
+                  << " B with " << (capacity_ - used_) << " of " << capacity_
+                  << " B free — increase --mem (this structure alone needs >= "
+                  << (aligned + bytes) << " B)");
+    void* p = base_ + aligned;
+    used_ = aligned + bytes;
+    return p;
+  }
+
+  // Typed helper: n default-constructible Ts (trivially destroyed with the
+  // arena — do not put owning types here).
+  template <class T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    T* p = static_cast<T*>(alloc(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) new (p + i) T();
+    return p;
+  }
+
+  // Drops every allocation at once (the only "free" a bump arena has).
+  // Carved children become dangling: reset only arenas that handed out no
+  // live carves.
+  void reset() { used_ = 0; }
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  std::size_t remaining() const { return capacity_ - used_; }
+
+ private:
+  Arena(std::string name, std::uint8_t* base, std::size_t capacity)
+      : name_(std::move(name)), base_(base), capacity_(capacity) {}
+
+  std::string name_;
+  std::unique_ptr<std::uint8_t[]> owned_;  // null for carved children
+  std::uint8_t* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace memu

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <utility>
 
 #include "common/check.h"
 #include "common/hash.h"
 #include "engine/replay.h"
+#include "engine/spill.h"
 #include "engine/thread_pool.h"
 #include "engine/visited.h"
 
@@ -35,11 +37,17 @@ class Search {
       : opt_(opt),
         invariant_(invariant),
         terminal_(terminal),
-        visited_({opt.exact_dedupe, shard_count(opt)}) {}
+        frontier_budget_(opt.frontier_budget_bytes != 0
+                             ? opt.frontier_budget_bytes
+                             : opt.mem.total / 8),
+        visited_({opt.exact_dedupe, shard_count(opt),
+                  opt.dedupe ? visited_budget(opt) : 0}) {}
 
   ExploreResult run(const World& initial) {
-    Node root{std::make_shared<const World>(initial), 0, {}};
+    root_ = std::make_shared<const World>(initial);
+    Node root{root_, 0, {}};
     if (opt_.threads <= 1) {
+      push_bytes(root);
       frontier_.push_back(std::move(root));
       run_sequential();
     } else {
@@ -55,6 +63,11 @@ class Search {
     result.dedupe_bytes = opt_.dedupe ? visited_.memory_bytes() : 0;
     result.dedupe_entries = opt_.dedupe ? visited_.size() : 0;
     result.exact_dedupe = opt_.exact_dedupe;
+    result.frontier_bytes = frontier_peak_.load();
+    if (spill_ != nullptr) {
+      result.spill_batches = spill_->batches_spilled();
+      result.spilled_nodes = spill_->nodes_spilled();
+    }
     result.complete = complete_.load() && !aborted_.load();
     {
       std::lock_guard<std::mutex> lock(violation_mu_);
@@ -70,6 +83,33 @@ class Search {
     if (opt.dedupe_shards != 0) return opt.dedupe_shards;
     return auto_shard_count(opt.threads);
   }
+
+  // --mem split: the visited set takes half the budget (it is the
+  // structure that scales with DISTINCT states and cannot shed load), the
+  // in-memory frontier an eighth (it can — to disk); the rest is slack
+  // for COW snapshots and bookkeeping. Direct overrides win.
+  static std::size_t visited_budget(const ExploreOptions& opt) {
+    if (opt.visited_budget_bytes != 0) return opt.visited_budget_bytes;
+    return opt.mem.total / 2;
+  }
+
+  // Frontier memory accounting: the node struct plus its path storage.
+  // Deliberately based on size(), not capacity(), so the accounting — and
+  // therefore every spill decision — is identical across allocators and
+  // stdlib growth policies.
+  static std::size_t node_bytes(const Node& n) {
+    return sizeof(Node) + n.path.size() * sizeof(ExploreStep);
+  }
+
+  void push_bytes(const Node& n) {
+    const std::size_t now =
+        frontier_bytes_.fetch_add(node_bytes(n)) + node_bytes(n);
+    std::size_t peak = frontier_peak_.load();
+    while (now > peak && !frontier_peak_.compare_exchange_weak(peak, now)) {
+    }
+  }
+
+  void pop_bytes(const Node& n) { frontier_bytes_.fetch_sub(node_bytes(n)); }
 
   void record_violation(const std::string& why,
                         const std::vector<ExploreStep>& path) {
@@ -220,18 +260,81 @@ class Search {
     return child;
   }
 
+  SpillFile& spill_file() {
+    if (spill_ == nullptr) spill_ = std::make_unique<SpillFile>();
+    return *spill_;
+  }
+
+  // Reconstitutes spilled paths as frontier nodes: the base snapshot was
+  // dropped at spill time, so a reloaded node replays its whole path from
+  // the root. That replay is deterministic — the node is state-identical
+  // to the one that was spilled.
+  Node reloaded_node(std::vector<ExploreStep>&& path) const {
+    return Node{root_, 0, std::move(path)};
+  }
+
+  // Sequential spill policy: when the accounted frontier bytes exceed the
+  // budget, move the COLD FRONT of the LIFO vector — the nodes a pure DFS
+  // would reach last — to disk as one ordered batch, down to half budget
+  // (hysteresis so spills batch up instead of thrashing). The hot tail
+  // stays in memory, so the pop order is untouched; the batch returns via
+  // reload_sequential() exactly when the DFS would have reached it.
+  void maybe_spill_sequential() {
+    if (frontier_budget_ == 0 ||
+        frontier_bytes_.load() <= frontier_budget_)
+      return;
+    const std::size_t target = frontier_budget_ / 2;
+    std::size_t take = 0, freed = 0;
+    while (take + 1 < frontier_.size() &&
+           frontier_bytes_.load() - freed > target) {
+      freed += node_bytes(frontier_[take]);
+      ++take;
+    }
+    if (take == 0) return;
+    spill_paths_.clear();
+    spill_paths_.reserve(take);
+    for (std::size_t i = 0; i < take; ++i)
+      spill_paths_.push_back(std::move(frontier_[i].path));
+    spill_file().spill(spill_paths_);
+    frontier_.erase(frontier_.begin(),
+                    frontier_.begin() + static_cast<std::ptrdiff_t>(take));
+    frontier_bytes_.fetch_sub(freed);
+  }
+
+  // Reloads the most recent spill batch when the in-memory frontier has
+  // drained; returns false when no work remains anywhere.
+  bool reload_sequential() {
+    if (spill_ == nullptr || !spill_->reload(spill_paths_)) return false;
+    frontier_.reserve(spill_paths_.size());
+    for (auto& path : spill_paths_) {
+      Node node = reloaded_node(std::move(path));
+      push_bytes(node);
+      frontier_.push_back(std::move(node));
+    }
+    spill_paths_.clear();
+    return true;
+  }
+
   // Sequential mode: LIFO frontier, children pushed in reverse generation
   // order, so pops happen in exactly the recursive-DFS entry order — every
-  // counter and the first counterexample match the seed explorer.
+  // counter and the first counterexample match the seed explorer. Under a
+  // frontier budget the cold front of the vector lives on disk, re-entering
+  // exactly where the DFS would have reached it: the visit order — and so
+  // every counter and the first violation — is byte-identical at any
+  // budget.
   void run_sequential() {
     std::vector<Node> children;
-    while (!frontier_.empty() && !aborted_.load()) {
+    while ((!frontier_.empty() || reload_sequential()) && !aborted_.load()) {
       const Node node = std::move(frontier_.back());
       frontier_.pop_back();
+      pop_bytes(node);
       children.clear();
       visit(node, [&](Node&& child) { children.push_back(std::move(child)); });
-      for (auto it = children.rbegin(); it != children.rend(); ++it)
+      for (auto it = children.rbegin(); it != children.rend(); ++it) {
+        push_bytes(*it);
         frontier_.push_back(std::move(*it));
+      }
+      maybe_spill_sequential();
     }
   }
 
@@ -246,28 +349,93 @@ class Search {
   // generated node is popped exactly once by some worker, and dedupe is
   // atomic per state, so states/terminals/transitions/deduped match the
   // sequential run regardless of thread count or steal order.
+  // Parallel budget enforcement: a worker whose children would push the
+  // accounted frontier past its budget spills the WHOLE child batch to
+  // disk instead of submitting it (one lock, one sequential write). The
+  // refill hook reloads a batch when a worker finds no queued work and
+  // nothing to steal — before the termination check, so spilled nodes
+  // (which live outside the pool's in-flight counter) can never be
+  // orphaned: the spill happened inside a visit, which holds in-flight
+  // above zero until the spilling worker retires, and by then the batch
+  // record is visible under spill_mu_. Parallel mode never promised a
+  // deterministic visit ORDER — only the counter guarantees above — and
+  // spilling moves nodes between workers exactly like a steal does, so
+  // those guarantees are unchanged.
+  void spill_parallel(std::vector<Node>& children) {
+    std::vector<std::vector<ExploreStep>> paths;
+    paths.reserve(children.size());
+    std::size_t freed = 0;
+    for (Node& child : children) {
+      freed += node_bytes(child);
+      paths.push_back(std::move(child.path));
+    }
+    children.clear();
+    {
+      std::lock_guard<std::mutex> lock(spill_mu_);
+      spill_file().spill(paths);
+    }
+    frontier_bytes_.fetch_sub(freed);
+  }
+
+  bool refill_parallel(std::size_t id, WorkStealingPool<Node>& pool) {
+    std::vector<std::vector<ExploreStep>> paths;
+    {
+      std::lock_guard<std::mutex> lock(spill_mu_);
+      if (spill_ == nullptr || !spill_->reload(paths)) return false;
+    }
+    std::vector<Node> batch;
+    batch.reserve(paths.size());
+    for (auto& path : paths) {
+      Node node = reloaded_node(std::move(path));
+      push_bytes(node);
+      batch.push_back(std::move(node));
+    }
+    pool.submit(id, batch);
+    return true;
+  }
+
   void run_parallel(Node&& root) {
     WorkStealingPool<Node> pool(opt_.threads);
+    push_bytes(root);
     pool.seed(std::move(root));
-    pool.run([this, &pool](std::size_t id, Node&& node) {
-      if (aborted_.load()) {
-        pool.stop();
-        return;
-      }
-      // One child buffer per worker thread, reused across visits.
-      static thread_local std::vector<Node> children;
-      children.clear();
-      visit(node, [&](Node&& child) { children.push_back(std::move(child)); });
-      pool.submit(id, children);
-    });
+    pool.run(
+        [this, &pool](std::size_t id, Node&& node) {
+          if (aborted_.load()) {
+            pool.stop();
+            return;
+          }
+          pop_bytes(node);
+          // One child buffer per worker thread, reused across visits.
+          static thread_local std::vector<Node> children;
+          children.clear();
+          visit(node,
+                [&](Node&& child) { children.push_back(std::move(child)); });
+          for (const Node& child : children) push_bytes(child);
+          if (frontier_budget_ != 0 && !children.empty() &&
+              frontier_bytes_.load() > frontier_budget_) {
+            spill_parallel(children);
+          } else {
+            pool.submit(id, children);
+          }
+        },
+        [this, &pool](std::size_t id) { return refill_parallel(id, pool); });
   }
 
   const ExploreOptions& opt_;
   const StateCheck& invariant_;
   const StateCheck& terminal_;
+  // Declared before visited_ to match the constructor's init order.
+  std::size_t frontier_budget_ = 0;  // bytes; 0 = unbudgeted
   VisitedSet visited_;
 
-  std::vector<Node> frontier_;  // sequential mode only
+  std::shared_ptr<const World> root_;  // replay base for reloaded nodes
+  std::vector<Node> frontier_;         // sequential mode only
+  std::vector<std::vector<ExploreStep>> spill_paths_;  // sequential scratch
+
+  std::atomic<std::size_t> frontier_bytes_{0};
+  std::atomic<std::size_t> frontier_peak_{0};
+  std::mutex spill_mu_;  // guards spill_ in parallel mode
+  std::unique_ptr<SpillFile> spill_;  // lazily created on first spill
 
   std::atomic<std::size_t> states_visited_{0};
   std::atomic<std::size_t> terminal_states_{0};

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "sim/world.h"
 
 namespace memu {
@@ -72,6 +73,22 @@ struct ExploreOptions {
   // gone. Raise it to trade time for memory on breadth-heavy searches
   // where many queued nodes keep their base snapshots alive.
   std::size_t snapshot_interval = 1;
+
+  // --- memory budget -------------------------------------------------------
+  // Hard byte cap for the search's growing structures (`--mem` on the
+  // tools). Unbounded (the default) preserves the grow-forever behavior.
+  // Bounded, the budget is split up front: the visited set gets half,
+  // fitted mccortex-style at construction and CHECK-failing with a sizing
+  // hint if the state space needs more; in-memory frontier nodes get an
+  // eighth, enforced by spilling cold node batches to a temp file and
+  // replaying them later (counters and DFS order stay byte-identical at
+  // ANY budget — see DESIGN.md); the remainder is slack for snapshots and
+  // bookkeeping the engine cannot meter exactly.
+  MemBudget mem;
+  // Direct share overrides in bytes (0 = derive from `mem` as above).
+  // Tests and benches use these to force spilling at precise thresholds.
+  std::size_t visited_budget_bytes = 0;
+  std::size_t frontier_budget_bytes = 0;
 };
 
 // One delivery along an exploration path.
@@ -86,14 +103,23 @@ struct ExploreResult {
   std::size_t transitions = 0;      // deliveries executed
   std::size_t deduped = 0;          // revisits merged away
   std::size_t truncated = 0;        // expansions rejected by max_states
-  // Visited-set footprint, via VisitedSet::memory_bytes(): 8 bytes per
-  // entry in fingerprint mode, full encoding bytes plus string bookkeeping
-  // in exact mode. The two modes are NOT comparable byte-for-byte — check
+  // Visited-set footprint, via VisitedSet::memory_bytes(): EXACT allocated
+  // bytes — open-addressed slot tables plus (exact mode) the encoding
+  // slabs. The two modes are NOT comparable byte-for-byte — check
   // exact_dedupe before comparing across runs (bench emitters tag every
   // record with its mode for exactly this reason).
   std::size_t dedupe_bytes = 0;
   std::size_t dedupe_entries = 0;  // states retained by the visited set
   bool exact_dedupe = false;       // mode behind dedupe_bytes (see above)
+  // Peak bytes of in-memory frontier nodes (node structs + paths; shared
+  // COW snapshots are slack, not metered here), and the disk-spill volume
+  // a frontier budget produced: batches written and nodes they carried.
+  // Budgeted and unbudgeted runs of the same space may differ ONLY in
+  // these telemetry fields — the semantic counters above are budget-
+  // invariant by contract.
+  std::size_t frontier_bytes = 0;
+  std::size_t spill_batches = 0;
+  std::size_t spilled_nodes = 0;
   bool complete = false;  // the whole space fit within the bounds
   bool ok = true;         // no invariant/terminal violation found
   std::string violation;  // description of the first violation

@@ -1,0 +1,80 @@
+#include "engine/spill.h"
+
+#include "common/buffer.h"
+#include "common/check.h"
+
+namespace memu::engine {
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) std::fclose(file_);  // tmpfile: close reclaims it
+}
+
+void SpillFile::spill(std::span<const std::vector<ExploreStep>> paths) {
+  if (paths.empty()) return;
+  if (file_ == nullptr) {
+    file_ = std::tmpfile();
+    MEMU_CHECK_MSG(file_ != nullptr,
+                   "cannot create frontier spill file (tmpfile failed) — "
+                   "no writable temp directory?");
+  }
+
+  // Serialize the whole batch into one buffer, then one fwrite: spills are
+  // cold-path by design, but a single sequential write keeps them cheap.
+  BufWriter w;
+  w.u64(paths.size());
+  for (const auto& path : paths) {
+    w.u64(path.size());
+    for (const ExploreStep& step : path) {
+      w.u32(step.chan.src.value);
+      w.u32(step.chan.dst.value);
+      w.u64(step.index);
+    }
+  }
+
+  // Write past the last pending batch: regions of already-reloaded batches
+  // are reused, so pending bytes — not lifetime bytes — bound the file.
+  const long offset =
+      batches_.empty() ? 0 : batches_.back().offset +
+                                 static_cast<long>(batches_.back().bytes);
+  MEMU_CHECK(std::fseek(file_, offset, SEEK_SET) == 0);
+  const Bytes& buf = w.data();
+  MEMU_CHECK_MSG(std::fwrite(buf.data(), 1, buf.size(), file_) == buf.size(),
+                 "short write to frontier spill file — disk full?");
+  batches_.push_back({offset, buf.size()});
+  ++batches_spilled_;
+  nodes_spilled_ += paths.size();
+  bytes_spilled_ += buf.size();
+}
+
+bool SpillFile::reload(std::vector<std::vector<ExploreStep>>& out) {
+  if (batches_.empty()) return false;
+  const BatchRecord rec = batches_.back();
+  batches_.pop_back();
+
+  Bytes buf(rec.bytes);
+  MEMU_CHECK(std::fseek(file_, rec.offset, SEEK_SET) == 0);
+  MEMU_CHECK_MSG(std::fread(buf.data(), 1, rec.bytes, file_) == rec.bytes,
+                 "short read from frontier spill file");
+
+  BufReader r(buf);
+  const std::uint64_t count = r.u64();
+  out.clear();
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t len = r.u64();
+    std::vector<ExploreStep> path;
+    path.reserve(len);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      ExploreStep step;
+      step.chan.src = NodeId(r.u32());
+      step.chan.dst = NodeId(r.u32());
+      step.index = r.u64();
+      path.push_back(step);
+    }
+    out.push_back(std::move(path));
+  }
+  MEMU_CHECK_MSG(r.exhausted(), "trailing bytes in spill batch");
+  return true;
+}
+
+}  // namespace memu::engine

@@ -1,0 +1,63 @@
+// SpillFile: disk overflow for frontier nodes under a --mem budget.
+//
+// A compressed frontier node is fully determined by its delivery path from
+// the initial state (the base snapshot is an optimization, not state), so
+// spilling a node costs exactly its ExploreStep path — 16 bytes a step —
+// and reloading reconstitutes it by replay from the root snapshot. Batches
+// are strictly LIFO: reload() always returns the most recently spilled
+// batch, with its nodes in their original order. That discipline is what
+// lets the sequential explorer keep its DFS visit order byte-identical at
+// ANY budget: the frontier vector's cold front [0, k) moves to disk as one
+// batch, and when the in-memory tail drains, popping the reloaded batch
+// back-to-front continues exactly where an unbudgeted run would have.
+//
+// The backing store is one anonymous temp file (std::tmpfile — unlinked at
+// creation, reclaimed by the OS even on crash), created lazily on the
+// first spill. Batch bookkeeping lives in memory; reloaded batches'
+// regions are reused by later spills, so the file's extent tracks the
+// PENDING spill volume, not the lifetime total. Not thread-safe: callers
+// that spill from concurrent workers serialize on their own mutex.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "engine/frontier.h"
+
+namespace memu::engine {
+
+class SpillFile {
+ public:
+  SpillFile() = default;
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+  ~SpillFile();
+
+  // Appends one batch of node paths. Order within the batch is preserved
+  // verbatim by the matching reload().
+  void spill(std::span<const std::vector<ExploreStep>> paths);
+
+  // Pops the most recently spilled batch into `out` (contents replaced).
+  // Returns false — leaving `out` untouched — when nothing is pending.
+  bool reload(std::vector<std::vector<ExploreStep>>& out);
+
+  std::size_t batches_pending() const { return batches_.size(); }
+  std::size_t batches_spilled() const { return batches_spilled_; }  // lifetime
+  std::size_t nodes_spilled() const { return nodes_spilled_; }      // lifetime
+  std::size_t bytes_spilled() const { return bytes_spilled_; }      // lifetime
+
+ private:
+  struct BatchRecord {
+    long offset = 0;
+    std::size_t bytes = 0;
+  };
+
+  std::FILE* file_ = nullptr;  // lazily created
+  std::vector<BatchRecord> batches_;  // stack: back = most recent
+  std::size_t batches_spilled_ = 0;
+  std::size_t nodes_spilled_ = 0;
+  std::size_t bytes_spilled_ = 0;
+};
+
+}  // namespace memu::engine

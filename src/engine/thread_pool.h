@@ -89,17 +89,33 @@ class WorkStealingPool {
   // all workers have exited. With one worker no thread is spawned — the
   // loop runs inline, so the sequential path stays allocation- and
   // sync-free apart from the owner's uncontended mutex.
-  template <class Visit>
-  void run(Visit&& visit) {
+  //
+  // `refill(worker_id)` is consulted when a worker finds no local work and
+  // nothing to steal, BEFORE the termination check: returning true means
+  // the hook submitted more tasks (via submit()) and the worker should
+  // retry; false means it has nothing. This is how a memory-budgeted
+  // frontier reloads spilled batches: spilled nodes live outside the
+  // in-flight counter, and a worker may only exit after observing refill
+  // exhausted AND in-flight zero — every spill happens inside some visit
+  // (which holds in-flight above zero), so the spilling worker itself can
+  // never exit while its batch is still on disk, and no batch is orphaned.
+  template <class Visit, class Refill>
+  void run(Visit&& visit, Refill&& refill) {
     if (deques_.size() == 1) {
-      worker_loop(0, visit);
+      worker_loop(0, visit, refill);
       return;
     }
     std::vector<std::thread> workers;
     workers.reserve(deques_.size());
     for (std::size_t i = 0; i < deques_.size(); ++i)
-      workers.emplace_back([this, &visit, i] { worker_loop(i, visit); });
+      workers.emplace_back(
+          [this, &visit, &refill, i] { worker_loop(i, visit, refill); });
     for (auto& w : workers) w.join();
+  }
+
+  template <class Visit>
+  void run(Visit&& visit) {
+    run(visit, [](std::size_t) { return false; });
   }
 
  private:
@@ -134,14 +150,18 @@ class WorkStealingPool {
     return false;
   }
 
-  template <class Visit>
-  void worker_loop(std::size_t id, Visit& visit) {
+  template <class Visit, class Refill>
+  void worker_loop(std::size_t id, Visit& visit, Refill& refill) {
     std::uint64_t rng = mix64(id ^ 0xd6e8feb86659fd93ull);
     std::size_t idle = 0;
     for (;;) {
       if (stop_.load()) return;
       Task task;
       if (!try_pop_local(id, task) && !try_steal(id, rng, task)) {
+        if (refill(id)) {
+          idle = 0;
+          continue;
+        }
         if (in_flight_.load() == 0) return;  // nothing queued, nothing running
         // Brief spin, then sleep: on saturated hardware (or 1 core) idle
         // thieves must yield the CPU to whoever holds the work.

@@ -265,6 +265,22 @@ WalkResult replay_trace(const FuzzTrace& trace) {
 
 CampaignSummary run_campaign(const SystemSpec& spec, const FuzzPlan& plan) {
   MEMU_CHECK_MSG(plan.mix.sum() <= 1.0, "fault mix probabilities sum past 1");
+  if (plan.mem.bounded()) {
+    // Validate the budget against the concurrent-walk envelope up front —
+    // fail before walk 0, not at an OOM kill hours in. 4 MiB bounds a
+    // walk's transient working set (World replica, history log, minimizer
+    // scratch) with a wide margin for every shipped spec.
+    constexpr std::size_t kWalkEnvelopeBytes = 4ull << 20;
+    const std::size_t workers =
+        std::min(std::max<std::size_t>(1, plan.threads), plan.walks);
+    const std::size_t need = workers * kWalkEnvelopeBytes;
+    MEMU_CHECK_MSG(
+        plan.mem.total >= need,
+        "--mem " << plan.mem.to_string() << " cannot cover " << workers
+                 << " concurrent walks (~4 MiB envelope each): rerun with "
+                    "--mem >= "
+                 << MemBudget{need}.to_string() << " or fewer --threads");
+  }
   CampaignSummary summary;
   summary.spec = spec;
   summary.plan = plan;

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/arena.h"
+
 namespace memu::fuzz {
 
 // Which consistency property a campaign asserts on each walk's history.
@@ -101,6 +103,15 @@ struct FuzzPlan {
   // deliberately excluded from to_json() and the trace format. Purely a
   // wall-clock knob; 1 = in-line serial execution.
   std::size_t threads = 1;
+  // Memory budget for the campaign (`--mem` on memu_fuzz). Walk memory is
+  // transient — each walk's World replica and history die with the walk —
+  // so the budget is validated up front against the concurrent-walk
+  // envelope (run_campaign CHECK-fails with a sizing hint if `threads`
+  // concurrent walks cannot fit) rather than metered per allocation. Like
+  // `threads`, a machine-local execution knob: deliberately excluded from
+  // to_json() and the trace format, so budgeted and unbudgeted campaigns
+  // stay byte-identical.
+  MemBudget mem;
 };
 
 }  // namespace memu::fuzz

@@ -47,7 +47,7 @@ TEST(VisitedSet, ExactModeBehavesIdentically) {
   EXPECT_EQ(exact.size(), 300u);
 }
 
-TEST(VisitedSet, FingerprintModeRetainsEightBytesPerState) {
+TEST(VisitedSet, KeyBytesPreservesTheLegacyPerKeyEstimate) {
   VisitedSet fp({/*exact=*/false, /*shards=*/8});
   VisitedSet exact({/*exact=*/true, /*shards=*/8});
   // 200-byte keys, the ballpark of a small World encoding.
@@ -58,8 +58,78 @@ TEST(VisitedSet, FingerprintModeRetainsEightBytesPerState) {
     fp.try_insert(k);
     exact.try_insert(k);
   }
-  EXPECT_EQ(fp.memory_bytes(), 8u * 100);
-  EXPECT_GE(exact.memory_bytes(), 200u * 100);
+  EXPECT_EQ(fp.key_bytes(), 8u * 100);
+  EXPECT_GE(exact.key_bytes(), 200u * 100);
+}
+
+TEST(VisitedSet, MemoryBytesIsExactAndExceedsTheLegacyEstimate) {
+  // The old memory_bytes() WAS key_bytes(): it summed key payloads and
+  // silently ignored the unordered_set's ~40+ bytes of node + bucket
+  // overhead per entry. The new accounting reports real allocated bytes
+  // (slot tables + slabs), which is strictly larger — pin both the
+  // relation and the exact value so the undercount can never creep back.
+  VisitedSet fp({/*exact=*/false, /*shards=*/1});
+  for (std::uint64_t i = 0; i < 100; ++i) fp.try_insert(key(i));
+  EXPECT_GT(fp.memory_bytes(), fp.key_bytes());
+  // 100 entries at a 75% load limit land in a 256-slot table, 8 B/slot.
+  EXPECT_EQ(fp.memory_bytes(), 256u * 8u);
+
+  VisitedSet exact({/*exact=*/true, /*shards=*/1});
+  for (std::uint64_t i = 0; i < 100; ++i) exact.try_insert(key(i));
+  EXPECT_GT(exact.memory_bytes(), exact.key_bytes());
+  // Exact mode adds the refs table and the encoding slab on top.
+  EXPECT_GE(exact.memory_bytes(), 256u * (8u + 16u) + 100u * 8u);
+}
+
+TEST(VisitedSet, BudgetedSetFitsCapacityUpFrontAndStaysWithinBudget) {
+  constexpr std::size_t kBudget = 1 << 16;  // 64 KiB
+  VisitedSet set({/*exact=*/false, /*shards=*/4, kBudget});
+  // Capacity is fitted at construction: memory_bytes() is already final
+  // and within budget before any insert.
+  const std::size_t fitted = set.memory_bytes();
+  EXPECT_GT(fitted, 0u);
+  EXPECT_LE(fitted, kBudget);
+  for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_TRUE(set.try_insert(key(i)));
+  EXPECT_EQ(set.size(), 1000u);
+  EXPECT_EQ(set.memory_bytes(), fitted);  // no growth, ever
+}
+
+TEST(VisitedSet, OverfilledBudgetFailsLoudlyWithSizingHint) {
+  // A budget too small for the state space must CHECK-fail at the load
+  // limit — not grow, not degrade — and the message must tell the user
+  // what to do in --mem terms.
+  VisitedSet set({/*exact=*/false, /*shards=*/1, /*budget_bytes=*/4096});
+  try {
+    for (std::uint64_t i = 0; i < 100'000; ++i) set.try_insert(key(i));
+    FAIL() << "insert past the load limit should have thrown";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("--mem"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(VisitedSet, ImpossiblySmallBudgetFailsAtConstruction) {
+  // Not even a minimum-capacity table fits: fail at construction, again
+  // with the --mem sizing hint.
+  try {
+    VisitedSet set({/*exact=*/false, /*shards=*/16, /*budget_bytes=*/256});
+    FAIL() << "construction should have thrown";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("--mem"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(VisitedSet, BudgetedExactModeKeepsEncodingsAndStaysWithinBudget) {
+  constexpr std::size_t kBudget = 1 << 20;  // 1 MiB
+  VisitedSet set({/*exact=*/true, /*shards=*/2, kBudget});
+  EXPECT_LE(set.memory_bytes(), kBudget);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_TRUE(set.try_insert(key(i)));
+    EXPECT_FALSE(set.try_insert(key(i)));
+  }
+  EXPECT_EQ(set.size(), 500u);
+  EXPECT_LE(set.memory_bytes(), kBudget);
 }
 
 TEST(VisitedSet, ConcurrentInsertersAgreeOnFreshness) {

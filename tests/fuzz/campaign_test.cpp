@@ -81,6 +81,40 @@ TEST(Campaign, SummariesAreByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(Campaign, MemBudgetIsAnExecutionKnobNotAPlanInput) {
+  // Like threads, --mem must never leak into the summary or the traces: a
+  // budgeted campaign renders byte-identically to an unbudgeted one.
+  SystemSpec spec;
+  spec.algo = "abd";
+  FuzzPlan plan;
+  plan.seed = 7;
+  plan.walks = 6;
+  plan.max_steps = 10'000;
+  const CampaignSummary bare = run_campaign(spec, plan);
+  FuzzPlan budgeted = plan;
+  budgeted.mem = MemBudget::parse("256M");
+  const CampaignSummary b = run_campaign(spec, budgeted);
+  EXPECT_EQ(bare.to_json(), b.to_json());
+}
+
+TEST(Campaign, InsufficientMemBudgetFailsBeforeWalkZero) {
+  // 4 threads need the 4 MiB-per-walk envelope each; 1 MiB total must be
+  // rejected up front with a sizing hint in --mem terms.
+  SystemSpec spec;
+  spec.algo = "abd";
+  FuzzPlan plan;
+  plan.walks = 8;
+  plan.threads = 4;
+  plan.mem = MemBudget::parse("1M");
+  try {
+    run_campaign(spec, plan);
+    FAIL() << "expected the budget gate to throw";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("--mem"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Campaign, ParallelCampaignMinimizesIdentically) {
   // The pinned violating campaign with minimization ON, serial vs 4
   // workers: in-walk minimization must not perturb the byte-identity

@@ -82,6 +82,21 @@ def check_explore(cur, base, tol):
         check_upper_bound(
             f"{mode} cow_bytes_per_state", run["cow_bytes_per_state"],
             b["cow_bytes_per_state"], tol)
+        # Memory trajectory: exact allocated visited-set bytes (and, where
+        # recorded, the peak in-memory frontier bytes) must not creep past
+        # the baseline. Both are deterministic accounting in sequential
+        # runs, not wall-clock noise, so the same tolerance gates them.
+        if "visited_bytes" in run and "visited_bytes" in b:
+            check_upper_bound(
+                f"{mode} visited_bytes", run["visited_bytes"],
+                b["visited_bytes"], tol)
+        # Sequential modes only: the parallel peak depends on worker timing,
+        # so its byte count is not a stable gate.
+        if (b.get("frontier_bytes", 0) > 0 and "frontier_bytes" in run
+                and "parallel" not in mode):
+            check_upper_bound(
+                f"{mode} frontier_bytes", run["frontier_bytes"],
+                b["frontier_bytes"], tol)
         # Hard invariant, not a tolerance: fingerprint-mode exploration
         # must never serialize a canonical encoding (the incremental state
         # hash exists to remove exactly that cost).
@@ -98,6 +113,29 @@ def check_explore(cur, base, tol):
         fail("parallel explore counters diverged from sequential")
     else:
         ok("parallel counters match sequential")
+    # The --mem contract is a hard invariant: budgeted and spilling runs
+    # must reproduce the unbudgeted counters exactly, and the forced-spill
+    # run must actually have spilled (a spill run with zero batches means
+    # the budget path silently stopped being exercised).
+    if "budgeted_counters_match_sequential" in cur:
+        if cur["budgeted_counters_match_sequential"]:
+            ok("budgeted/spill counters match unbudgeted")
+        else:
+            fail("budgeted explore counters diverged from unbudgeted")
+    elif "budgeted_counters_match_sequential" in base:
+        fail("budgeted_counters_match_sequential missing from current run")
+    cur_spill = next(
+        (r for r in cur["runs"] if "spill" in r["mode"]), None)
+    base_spill = next(
+        (r for r in base["runs"] if "spill" in r["mode"]), None)
+    if base_spill is not None:
+        if cur_spill is None:
+            fail("spill run missing from current bench")
+        elif cur_spill.get("spill_batches", 0) < 1:
+            fail("spill run recorded 0 batches — the spill path did not run")
+        else:
+            ok(f"spill run pushed {cur_spill['spill_batches']} batches "
+               f"({cur_spill['spilled_nodes']} nodes) through disk")
     # Work-stealing scaling curve: gate per-thread-count throughput so a
     # scheduler regression at ANY width fails, not just the 1/8 endpoints.
     base_scaling = {s["threads"]: s for s in base.get("scaling", [])}
@@ -112,6 +150,15 @@ def check_explore(cur, base, tol):
     check_lower_bound(
         "cow_copy_reduction_x", cur["cow_copy_reduction_x"],
         base["cow_copy_reduction_x"], tol)
+    check_peak_rss(cur, base, tol)
+
+
+def check_peak_rss(cur, base, tol):
+    """Whole-process peak RSS: coarse, but the number that catches a change
+    re-inflating memory outside the structures the engine meters exactly."""
+    if "peak_rss_kb" in cur and base.get("peak_rss_kb", 0) > 0:
+        check_upper_bound(
+            "peak_rss_kb", cur["peak_rss_kb"], base["peak_rss_kb"], tol)
 
 
 def check_fuzz(cur, base, tol):
@@ -156,6 +203,7 @@ def check_fuzz(cur, base, tol):
              "(ddmin reduction sequence changed)")
     else:
         ok(f"minimize tests_run == {base_tests}")
+    check_peak_rss(cur, base, tol)
 
 
 def check_harness(cur, base, tol):
@@ -175,6 +223,7 @@ def check_harness(cur, base, tol):
         check_lower_bound(
             "world_copies_per_sec (all cases)",
             cur["world_copies_per_sec"], base["world_copies_per_sec"], tol)
+    check_peak_rss(cur, base, tol)
 
 
 def main():

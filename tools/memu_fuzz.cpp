@@ -4,25 +4,28 @@
 //                 [--writes Q] [--reads Q] [--check atomic|regular-swsr|
 //                 weakly-regular] [--n N] [--f F] [--k K] [--writers W]
 //                 [--readers R] [--value-bytes B] [--mix standard|crashes]
-//                 [--threads T] [--no-minimize] [--out-dir DIR]
-//                 [--expect-violations]
+//                 [--threads T] [--mem BUDGET] [--no-minimize]
+//                 [--out-dir DIR] [--expect-violations]
 //       Run one deterministic campaign per algo. The summary JSON on stdout
 //       is byte-identical across runs with the same flags AND any --threads
-//       value (timing and thread count go to stderr). Violating walks are
-//       minimized (unless --no-minimize) and written to
+//       or --mem value (timing and thread count go to stderr). Violating
+//       walks are minimized (unless --no-minimize) and written to
 //       DIR/FUZZTRACE_<algo>_<walk>.json. Exit 0 when no violations were
 //       found (inverted by --expect-violations).
 //
 //   memu_fuzz replay <trace.json>
 //       Re-execute a recorded trace. Exit 0 iff the violation reproduces.
 //
-//   memu_fuzz shrink <trace.json> [--out FILE] [--threads T]
+//   memu_fuzz shrink <trace.json> [--out FILE] [--threads T] [--mem BUDGET]
 //       Delta-debug a trace to a 1-minimal event script. --threads probes
 //       each ddmin round concurrently; the minimized trace and replay count
 //       are identical for any value.
 //
 // --threads defaults to the hardware concurrency (capped at 8); pass
-// --threads 1 to force serial execution.
+// --threads 1 to force serial execution. --mem takes <bytes|512M|4G>
+// (K/M/G = powers of 1024) and is validated against the concurrent-walk
+// envelope up front: a budget too small for --threads walks fails loudly
+// with a sizing hint instead of OOMing mid-campaign.
 #include <chrono>
 #include <iostream>
 #include <map>
@@ -84,13 +87,16 @@ int usage() {
       << "                     [--n N] [--f F] [--k K] [--writers W]"
       << " [--readers R]\n"
       << "                     [--value-bytes B] [--mix standard|crashes]\n"
-      << "                     [--threads T] [--no-minimize] [--out-dir DIR]\n"
-      << "                     [--expect-violations]\n"
+      << "                     [--threads T] [--mem BUDGET] [--no-minimize]\n"
+      << "                     [--out-dir DIR] [--expect-violations]\n"
       << "       memu_fuzz replay <trace.json>\n"
       << "       memu_fuzz shrink <trace.json> [--out FILE] [--threads T]\n"
+      << "                       [--mem BUDGET]\n"
       << "algos: abd abd-regular cas ldr strip\n"
       << "--threads defaults to hardware concurrency (capped at 8); output\n"
-      << "is byte-identical for any value\n";
+      << "is byte-identical for any value. --mem takes <bytes|512M|4G> and\n"
+      << "fails loudly up front when the budget cannot cover --threads\n"
+      << "concurrent walks\n";
   return 2;
 }
 
@@ -149,6 +155,7 @@ int cmd_run(const Args& a) {
     plan.mix = mix;
     plan.minimize = !a.has("no-minimize");
     plan.threads = a.num("threads", engine::default_worker_count());
+    if (a.has("mem")) plan.mem = MemBudget::parse(a.flags.at("mem"));
 
     const auto t0 = std::chrono::steady_clock::now();
     const CampaignSummary summary = run_campaign(spec, plan);
@@ -209,6 +216,19 @@ int cmd_shrink(const Args& a) {
   if (a.positional.size() < 2) return usage();
   const FuzzTrace trace = load_trace(a.positional[1]);
   const std::size_t threads = a.num("threads", engine::default_worker_count());
+  if (a.has("mem")) {
+    // Same up-front envelope gate as run_campaign: ddmin probes are
+    // walk-shaped replays, one per worker at a time.
+    const MemBudget mem = MemBudget::parse(a.flags.at("mem"));
+    constexpr std::size_t kWalkEnvelopeBytes = 4ull << 20;
+    MEMU_CHECK_MSG(mem.total >= threads * kWalkEnvelopeBytes,
+                   "--mem " << mem.to_string() << " cannot cover " << threads
+                            << " concurrent replay probes (~4 MiB envelope "
+                               "each): rerun with --mem >= "
+                            << MemBudget{threads * kWalkEnvelopeBytes}
+                                   .to_string()
+                            << " or fewer --threads");
+  }
   const auto t0 = std::chrono::steady_clock::now();
   const MinimizeResult m = minimize(trace, threads);
   const auto t1 = std::chrono::steady_clock::now();
