@@ -153,9 +153,16 @@ void abd_exhaustive() {
   report("ABD  N=3 f=1, write || read, atomic + storage==N*B", res);
 }
 
+// Set by abd_inversion(): whether the DPOR+symmetry-reduced exploration of
+// the one-phase-regular-reads configuration still exhibits the pinned
+// new-old inversion violation. The reductions must preserve the verdict —
+// a reduced run that misses this counterexample is unsound, and the bench
+// regression gate hard-fails on it.
+bool g_pinned_violation_under_reduction = false;
+
 void abd_inversion() {
   const Value v1 = unique_value(1, 1, kValueBytes);
-  auto run_one = [&](bool write_back) {
+  auto run_one = [&](bool write_back, bool reduce = false) {
     abd::Options opt;
     opt.n_servers = 3;
     opt.f = 1;
@@ -165,8 +172,11 @@ void abd_inversion() {
     abd::System sys = abd::make_system(opt);
     sys.world.invoke(sys.writers[0], {OpType::kWrite, v1});
     sys.world.invoke(sys.readers[0], {OpType::kRead, {}});
+    ExploreOptions eopt;
+    eopt.reduction.sleep_sets = reduce;
+    eopt.reduction.symmetry = reduce;
     return explore(
-        sys.world, ExploreOptions{},
+        sys.world, eopt,
         [&sys, v1](const World& w) -> std::optional<std::string> {
           bool saw_new = false;
           w.oplog().for_each([&](const OpEvent& e) {
@@ -188,6 +198,12 @@ void abd_inversion() {
   report("ABD  one-phase reads: inversion reachable?", run_one(false),
          /*expect_violation=*/true);
   report("ABD  write-back reads: inversion unreachable", run_one(true));
+  const auto reduced = run_one(false, /*reduce=*/true);
+  g_pinned_violation_under_reduction =
+      !reduced.ok && reduced.violation.find("new-old inversion state "
+                                            "reached") != std::string::npos;
+  report("ABD  one-phase reads, DPOR+symmetry: inversion still found?",
+         reduced, /*expect_violation=*/true);
 }
 
 void cas_exhaustive() {
@@ -219,9 +235,9 @@ void cas_exhaustive() {
 // Engine benchmark: the same CAS configuration explored sequentially and
 // with 8 worker threads, plus fingerprint-vs-exact visited-set memory.
 // Results land in BENCH_explore_exhaustive.json so CI can track them.
-World cas_bench_world() {
+World cas_bench_world(std::size_t n_servers = 3) {
   cas::Options opt;
-  opt.n_servers = 3;
+  opt.n_servers = n_servers;
   opt.f = 1;
   opt.k = 1;
   opt.value_size = kValueBytes;
@@ -248,8 +264,9 @@ struct TimedExplore {
   std::size_t state_bytes = 0;     // canonical encoding length of the root
 };
 
-TimedExplore timed_explore(const ExploreOptions& opt) {
-  const World w = cas_bench_world();
+TimedExplore timed_explore(const ExploreOptions& opt,
+                           std::size_t n_servers = 3) {
+  const World w = cas_bench_world(n_servers);
   TimedExplore out;
   out.state_bytes = w.canonical_encoding().size();
   const cowstats::Snapshot before = cowstats::snapshot();
@@ -282,11 +299,38 @@ void engine_benchmark() {
   ExploreOptions spill = base;
   spill.frontier_budget_bytes = 16ull << 10;
 
+  // Partial-order reduction (sleep sets + server symmetry): the same space
+  // reduced, and — the headline pair — the non-FIFO (reorder) space full vs
+  // reduced. The reorder space is the one the reductions exist for: it is
+  // ~23x the FIFO space and crosses the old 2M-state practicality line.
+  ExploreOptions red = base;
+  red.reduction.sleep_sets = true;
+  red.reduction.symmetry = true;
+  ExploreOptions full_ro = base;
+  full_ro.reorder = true;
+  full_ro.max_states = env_max_states(4'000'000);
+  ExploreOptions red_ro = full_ro;
+  red_ro.reduction.sleep_sets = true;
+  red_ro.reduction.symmetry = true;
+
   const TimedExplore s = timed_explore(seq);
   const TimedExplore p = timed_explore(par);
   const TimedExplore e = timed_explore(exact);
   const TimedExplore m = timed_explore(mem);
   const TimedExplore sp = timed_explore(spill);
+  const TimedExplore r = timed_explore(red);
+  const TimedExplore fro = timed_explore(full_ro);
+  const TimedExplore rro = timed_explore(red_ro);
+
+  // A configuration strictly larger than every committed baseline space
+  // (CAS N=4: ~16x the N=3 FIFO space), explored exhaustively under the
+  // hard --mem budget WITH reduction — the paper-scale configs the
+  // reductions newly reach — plus the unreduced run for the honest ratio.
+  ExploreOptions n4_full = base;
+  ExploreOptions n4_red_mem = red;
+  n4_red_mem.mem = g_mem_budget;
+  const TimedExplore n4f = timed_explore(n4_full, /*n_servers=*/4);
+  const TimedExplore n4r = timed_explore(n4_red_mem, /*n_servers=*/4);
 
   // Work-stealing scaling curve: the same space at 1/2/4/8 workers (the 1-
   // and 8-thread points reuse the runs above). How far the curve climbs is
@@ -311,6 +355,23 @@ void engine_benchmark() {
   const bool counts_match = sem_match(p);
   const bool budget_counts_match = sem_match(m) && sem_match(sp);
   const double speedup = p.seconds > 0 ? s.seconds / p.seconds : 0;
+
+  // Reduction ratios and verdict agreement. The ratios are only meaningful
+  // when both sides covered their full space (a smoke run truncates both at
+  // the same cap and the ratio degenerates to ~1), so the completeness
+  // flags ride along for the regression gate.
+  const auto ratio = [](const TimedExplore& full, const TimedExplore& redu) {
+    return redu.result.states_visited > 0
+               ? static_cast<double>(full.result.states_visited) /
+                     static_cast<double>(redu.result.states_visited)
+               : 0;
+  };
+  const double fifo_reduction_x = ratio(s, r);
+  const double reorder_reduction_x = ratio(fro, rro);
+  const double n4_reduction_x = ratio(n4f, n4r);
+  const bool reduction_verdicts_match =
+      s.result.ok == r.result.ok && fro.result.ok == rro.result.ok &&
+      n4f.result.ok == n4r.result.ok;
   // Both operands are VisitedSet::memory_bytes() of their own mode: the
   // ratio compares the exact-mode footprint against the fingerprint-mode
   // footprint for the same state space (same dedupe_entries).
@@ -362,6 +423,22 @@ void engine_benchmark() {
             << " batches / " << sp.result.spilled_nodes
             << " nodes through disk, counters "
             << (sem_match(sp) ? "IDENTICAL to unbudgeted" : "MISMATCH")
+            << '\n'
+            << "    DPOR+symmetry (FIFO): " << r.result.states_visited
+            << " states (" << fifo_reduction_x << "x fewer), sleep_blocked="
+            << r.result.sleep_blocked << " symmetry_merged="
+            << r.result.symmetry_merged << '\n'
+            << "    DPOR+symmetry (reorder): " << rro.result.states_visited
+            << " vs full " << fro.result.states_visited << " ("
+            << reorder_reduction_x << "x fewer), verdicts "
+            << (fro.result.ok == rro.result.ok ? "MATCH" : "DIVERGED") << '\n'
+            << "    CAS N=4 reduced under --mem " << g_mem_budget.to_string()
+            << ": " << n4r.result.states_visited << " states, complete="
+            << (n4r.result.complete ? "yes" : "NO") << " (full space "
+            << n4f.result.states_visited << ", " << n4_reduction_x
+            << "x fewer)\n"
+            << "    pinned abd-regular inversion under reduction: "
+            << (g_pinned_violation_under_reduction ? "FOUND" : "MISSING")
             << '\n';
 
   auto run_json = [&per_state](const char* mode,
@@ -380,8 +457,14 @@ void engine_benchmark() {
         .set("ok", t.result.ok)
         .set("complete", t.result.complete)
         // dedupe_bytes is in the units of THIS run's dedupe_mode; never
-        // compare it across records with different modes.
-        .set("dedupe_mode", t.result.exact_dedupe ? "exact" : "fingerprint")
+        // compare it across records with different modes. "symmetry" keys
+        // on the orbit-canonical fingerprint — one canonical relabeled
+        // encoding per admitted state, so the fingerprint-mode
+        // zero-encodings invariant does not apply to it.
+        .set("dedupe_mode", t.result.exact_dedupe
+                                ? "exact"
+                                : (t.result.symmetry_applied ? "symmetry"
+                                                             : "fingerprint"))
         .set("dedupe_entries", t.result.dedupe_entries)
         .set("dedupe_bytes", t.result.dedupe_bytes)
         // Memory-contract telemetry: exact allocated visited-set bytes
@@ -392,6 +475,16 @@ void engine_benchmark() {
         .set("frontier_bytes", t.result.frontier_bytes)
         .set("spill_batches", t.result.spill_batches)
         .set("spilled_nodes", t.result.spilled_nodes)
+        // Exploration-accounting telemetry: paths cut by max_depth (any
+        // nonzero means complete=false), reduction counters, and the
+        // replay work behind frontier-node reconstitution.
+        .set("depth_cut", t.result.depth_cut)
+        .set("truncated", t.result.truncated)
+        .set("sleep_blocked", t.result.sleep_blocked)
+        .set("symmetry_merged", t.result.symmetry_merged)
+        .set("symmetry_applied", t.result.symmetry_applied)
+        .set("replay_steps", t.result.replay_steps)
+        .set("max_pop_replay", t.result.max_pop_replay)
         .set("world_copies", t.cow.world_copies)
         .set("cow_detaches", t.cow.detaches())
         .set("cow_bytes_copied", t.cow.bytes_copied)
@@ -430,11 +523,42 @@ void engine_benchmark() {
                        .push(run_json("parallel8_fingerprint", p))
                        .push(run_json("sequential_exact", e))
                        .push(run_json("sequential_fingerprint_mem", m))
-                       .push(run_json("sequential_spill16k", sp)))
+                       .push(run_json("sequential_spill16k", sp))
+                       .push(run_json("sequential_reduced", r))
+                       .push(run_json("sequential_reorder_full", fro))
+                       .push(run_json("sequential_reorder_reduced", rro))
+                       .push(run_json("cas_n4_full", n4f))
+                       .push(run_json("cas_n4_reduced_mem", n4r)))
       .set("scaling", scaling_json)
       .set("parallel_counters_match_sequential", counts_match)
       .set("mem_budget", g_mem_budget.to_string())
       .set("budgeted_counters_match_sequential", budget_counts_match)
+      // Partial-order-reduction gate record: ratios are gated only when
+      // both sides are complete (smoke caps truncate both to the same
+      // size); the verdict agreement and the pinned abd-regular inversion
+      // are hard invariants at ANY cap.
+      .set("reduction",
+           benchjson::Json::object()
+               .set("fifo_full_states", s.result.states_visited)
+               .set("fifo_reduced_states", r.result.states_visited)
+               .set("fifo_reduction_x", fifo_reduction_x)
+               .set("reorder_full_states", fro.result.states_visited)
+               .set("reorder_reduced_states", rro.result.states_visited)
+               .set("reorder_reduction_x", reorder_reduction_x)
+               .set("reorder_both_complete",
+                    fro.result.complete && rro.result.complete)
+               .set("n4_full_states", n4f.result.states_visited)
+               .set("n4_reduced_states", n4r.result.states_visited)
+               .set("n4_reduction_x", n4_reduction_x)
+               .set("n4_both_complete",
+                    n4f.result.complete && n4r.result.complete)
+               .set("n4_reduced_complete_under_mem", n4r.result.complete)
+               .set("verdict_match", reduction_verdicts_match)
+               .set("symmetry_applied", rro.result.symmetry_applied)
+               .set("sleep_blocked", rro.result.sleep_blocked)
+               .set("symmetry_merged", rro.result.symmetry_merged)
+               .set("pinned_violation_found",
+                    g_pinned_violation_under_reduction))
       .set("parallel_speedup_x", speedup)
       .set("exact_over_fingerprint_dedupe_bytes_x", exact_over_fp)
       .set("state_encoding_bytes", s.state_bytes)

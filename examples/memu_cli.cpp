@@ -17,8 +17,13 @@
 //   memu verify 65 <abd|cas|cas-hash> [--nu V] [--domain M]
 //       Execute the Theorem 6.5 staged-delivery construction.
 //
-//   memu explore <abd|cas> [--reorder]
-//       Exhaustively model-check a small configuration.
+//   memu explore <abd|cas> [--n N] [--reorder]
+//       [--reduce|--sleep-sets|--symmetry] [--max-states N] [--mem 64M]
+//       Exhaustively model-check a small configuration. --reduce enables
+//       both partial-order reductions (sleep sets + server symmetry);
+//       the individual flags enable one at a time. --mem applies the hard
+//       memory budget (visited set fitted up front, cold frontier nodes
+//       spill to disk).
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -60,7 +65,8 @@ Args parse(int argc, char** argv) {
     const std::string s = argv[i];
     if (s.rfind("--", 0) == 0) {
       const std::string key = s.substr(2);
-      if (key == "reorder" || key == "witness") {
+      if (key == "reorder" || key == "witness" || key == "reduce" ||
+          key == "sleep-sets" || key == "symmetry") {
         a.flags[key] = "1";
       } else if (i + 1 < argc) {
         a.flags[key] = argv[++i];
@@ -81,7 +87,9 @@ int usage() {
             << "                [--ops-per-client Q] [--value-bytes B]"
             << " [--seed S] [--reorder] [--crash i,j,...]\n"
             << "       memu verify <b1|41|51|65> <algo> [--domain M] [--nu V]\n"
-            << "       memu explore <abd|cas> [--reorder]\n"
+            << "       memu explore <abd|cas> [--n N] [--reorder]"
+            << " [--reduce|--sleep-sets|--symmetry]\n"
+            << "                [--max-states N] [--mem <bytes|512M|4G>]\n"
             << "algos: abd abd-swmr abd-regular cas casgc cas-hash gossip"
             << " ldr strip\n";
   return 2;
@@ -321,9 +329,10 @@ int cmd_explore(const Args& a) {
   World* world = nullptr;
   abd::System asys;
   cas::System csys;
+  const std::size_t n = a.num("n", 3);
   if (algo == "abd") {
     abd::Options o;
-    o.n_servers = 3;
+    o.n_servers = n;
     o.f = 1;
     o.single_writer = true;
     o.value_size = 12;
@@ -334,7 +343,7 @@ int cmd_explore(const Args& a) {
     world = &asys.world;
   } else if (algo == "cas") {
     cas::Options o;
-    o.n_servers = 3;
+    o.n_servers = n;
     o.f = 1;
     o.k = 1;
     o.n_writers = 1;
@@ -350,7 +359,10 @@ int cmd_explore(const Args& a) {
 
   ExploreOptions opt;
   opt.reorder = a.has("reorder");
-  opt.max_states = 2'000'000;
+  opt.reduction.sleep_sets = a.has("reduce") || a.has("sleep-sets");
+  opt.reduction.symmetry = a.has("reduce") || a.has("symmetry");
+  opt.max_states = a.num("max-states", 2'000'000);
+  if (a.has("mem")) opt.mem = MemBudget::parse(a.flags.at("mem"));
   const auto res = explore(
       *world, opt, {},
       [&](const World& w) -> std::optional<std::string> {
@@ -359,12 +371,23 @@ int cmd_explore(const Args& a) {
         if (!verdict.ok) return verdict.violation;
         return std::nullopt;
       });
-  std::cout << "explored " << algo << " (write || read, N=3, f=1"
+  std::cout << "explored " << algo << " (write || read, N=" << n << ", f=1"
             << (opt.reorder ? ", non-FIFO" : ", FIFO") << "): states="
             << res.states_visited << " terminals=" << res.terminal_states
             << " complete=" << (res.complete ? "yes" : "NO") << " -> "
             << (res.ok ? "VERIFIED atomic+live" : "VIOLATION: " + res.violation)
             << '\n';
+  if (opt.reduction.sleep_sets || opt.reduction.symmetry) {
+    std::cout << "reduction: sleep_sets="
+              << (opt.reduction.sleep_sets ? "on" : "off")
+              << " symmetry="
+              << (res.symmetry_applied
+                      ? "on"
+                      : (opt.reduction.symmetry ? "ineligible" : "off"))
+              << " sleep_blocked=" << res.sleep_blocked
+              << " symmetry_merged=" << res.symmetry_merged
+              << " transitions=" << res.transitions << '\n';
+  }
   return res.ok ? 0 : 1;
 }
 

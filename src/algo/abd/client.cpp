@@ -79,15 +79,19 @@ StateBits Writer::state_size() const {
 
 Bytes Writer::encode_state() const {
   BufWriter w;
+  encode_state_relabeled(NodeRelabeling{}, w);  // identity
+  return std::move(w).take();
+}
+
+void Writer::encode_state_relabeled(const NodeRelabeling& rank,
+                                    BufWriter& w) const {
   w.u8(static_cast<std::uint8_t>(phase_));
   w.u64(rid_);
   w.u64(swmr_seq_);
   tag_.encode(w);
   max_seen_.encode(w);
   w.bytes(pending_value_);
-  w.u64(replied_.size());
-  for (NodeId n : replied_) w.u32(n.value);
-  return std::move(w).take();
+  encode_relabeled_ids(replied_, rank, w);
 }
 
 // ---- Reader -----------------------------------------------------------------
@@ -159,13 +163,17 @@ StateBits Reader::state_size() const {
 
 Bytes Reader::encode_state() const {
   BufWriter w;
+  encode_state_relabeled(NodeRelabeling{}, w);  // identity
+  return std::move(w).take();
+}
+
+void Reader::encode_state_relabeled(const NodeRelabeling& rank,
+                                    BufWriter& w) const {
   w.u8(static_cast<std::uint8_t>(phase_));
   w.u64(rid_);
   best_tag_.encode(w);
   w.bytes(best_value_);
-  w.u64(replied_.size());
-  for (NodeId n : replied_) w.u32(n.value);
-  return std::move(w).take();
+  encode_relabeled_ids(replied_, rank, w);
 }
 
 }  // namespace memu::abd

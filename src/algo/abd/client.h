@@ -34,6 +34,12 @@ class Writer final : public CloneableProcess<Writer> {
   Bytes encode_state() const override;
   std::string name() const override { return "abd.writer"; }
 
+  // Quorum state references servers only through the replied_ set (mapped
+  // below) and counts; server identity is otherwise irrelevant to ABD.
+  bool symmetry_relabelable() const override { return true; }
+  void encode_state_relabeled(const NodeRelabeling& rank,
+                              BufWriter& w) const override;
+
   bool idle() const { return phase_ == Phase::kIdle; }
   std::uint64_t current_op() const { return op_id_; }
 
@@ -76,6 +82,10 @@ class Reader final : public CloneableProcess<Reader> {
   StateBits state_size() const override;
   Bytes encode_state() const override;
   std::string name() const override { return "abd.reader"; }
+
+  bool symmetry_relabelable() const override { return true; }
+  void encode_state_relabeled(const NodeRelabeling& rank,
+                              BufWriter& w) const override;
 
   bool idle() const { return phase_ == Phase::kIdle; }
   std::uint64_t current_op() const { return op_id_; }

@@ -34,6 +34,10 @@ class Server final : public CloneableProcess<Server> {
   std::string name() const override { return "abd.server"; }
   bool is_server() const override { return true; }
 
+  // State is one (tag, value) pair — no node ids — and the protocol never
+  // distinguishes replicas, so servers are fully interchangeable.
+  bool symmetry_relabelable() const override { return true; }
+
   const Tag& tag() const { return tag_; }
   const Value& value() const { return value_; }
 

@@ -117,16 +117,23 @@ StateBits Writer::state_size() const {
 
 Bytes Writer::encode_state() const {
   BufWriter w;
+  encode_state_relabeled(NodeRelabeling{}, w);  // identity
+  return std::move(w).take();
+}
+
+void Writer::encode_state_relabeled(const NodeRelabeling& rank,
+                                    BufWriter& w) const {
   w.u8(static_cast<std::uint8_t>(phase_));
   w.u64(rid_);
   tag_.encode(w);
   max_seen_.encode(w);
   w.bytes(pending_value_);
+  // pending_shards_ is positional (shard i -> servers_[i]); with the k=1
+  // codec symmetry_relabelable() requires, every shard is identical, so
+  // position order is already relabel-stable.
   w.u64(pending_shards_.size());
   for (const auto& shard : pending_shards_) w.bytes(shard);
-  w.u64(replied_.size());
-  for (NodeId n : replied_) w.u32(n.value);
-  return std::move(w).take();
+  encode_relabeled_ids(replied_, rank, w);
 }
 
 // ---- Reader -----------------------------------------------------------------
@@ -232,18 +239,27 @@ StateBits Reader::state_size() const {
 
 Bytes Reader::encode_state() const {
   BufWriter w;
+  encode_state_relabeled(NodeRelabeling{}, w);  // identity
+  return std::move(w).take();
+}
+
+void Reader::encode_state_relabeled(const NodeRelabeling& rank,
+                                    BufWriter& w) const {
   w.u8(static_cast<std::uint8_t>(phase_));
   w.u64(rid_);
   target_.encode(w);
   max_seen_.encode(w);
   w.u64(shards_.size());
-  for (const auto& [node, shard] : shards_) {
-    w.u32(node.value);
-    w.bytes(shard);
+  std::vector<std::pair<std::uint32_t, const Bytes*>> mapped;
+  mapped.reserve(shards_.size());
+  for (const auto& [node, shard] : shards_) mapped.emplace_back(rank(node), &shard);
+  std::sort(mapped.begin(), mapped.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [id, shard] : mapped) {
+    w.u32(id);
+    w.bytes(*shard);
   }
-  w.u64(replied_.size());
-  for (NodeId n : replied_) w.u32(n.value);
-  return std::move(w).take();
+  encode_relabeled_ids(replied_, rank, w);
 }
 
 }  // namespace memu::cas

@@ -37,6 +37,15 @@ class Writer final : public CloneableProcess<Writer> {
   Bytes encode_state() const override;
   std::string name() const override { return "cas.writer"; }
 
+  // With a k=1 codec every coded element IS the value, so which server
+  // gets which shard is behaviorally irrelevant and the only server ids in
+  // the state are the replied_ set (mapped below). k >= 2 assigns a
+  // DISTINCT element per server position: servers stop being
+  // interchangeable and symmetry must stay off.
+  bool symmetry_relabelable() const override { return codec_->k() == 1; }
+  void encode_state_relabeled(const NodeRelabeling& rank,
+                              BufWriter& w) const override;
+
   bool idle() const { return phase_ == Phase::kIdle; }
   // Phase the write is currently in, for adversarial drivers that park
   // writers between phases.
@@ -79,6 +88,12 @@ class Reader final : public CloneableProcess<Reader> {
   StateBits state_size() const override;
   Bytes encode_state() const override;
   std::string name() const override { return "cas.reader"; }
+
+  // Same k=1 rationale as the writer; shards_ keys (server ids) and the
+  // replied_ set are mapped in encode_state_relabeled.
+  bool symmetry_relabelable() const override { return codec_->k() == 1; }
+  void encode_state_relabeled(const NodeRelabeling& rank,
+                              BufWriter& w) const override;
 
   bool idle() const { return phase_ == Phase::kIdle; }
   std::size_t restarts() const { return restarts_; }

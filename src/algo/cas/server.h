@@ -36,6 +36,12 @@ class Server final : public CloneableProcess<Server> {
   std::string name() const override { return "cas.server"; }
   bool is_server() const override { return true; }
 
+  // State embeds CLIENT ids only (waiting_ readers), which the symmetry
+  // relabeling maps identically, so the default encode_state_relabeled
+  // stays faithful. Interchangeability of the stored shards themselves is
+  // the clients' k=1 gate (see cas::Writer::symmetry_relabelable).
+  bool symmetry_relabelable() const override { return true; }
+
   // Introspection for tests and storage experiments.
   std::size_t stored_versions() const;       // entries holding a shard
   std::size_t finalized_versions() const;    // entries marked finalized

@@ -48,6 +48,13 @@ class BufWriter {
     out_.insert(out_.end(), data.begin(), data.end());
   }
 
+  // Raw append, no length prefix: for splicing pre-encoded blocks whose
+  // framing the caller owns (Process::encode_state_relabeled's default
+  // forwards whole encode_state() outputs through this).
+  void raw(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
   void str(const std::string& s) {
     u64(s.size());
     out_.insert(out_.end(), s.begin(), s.end());

@@ -1,0 +1,17 @@
+#include "engine/dpor.h"
+
+#include "sim/world.h"
+
+namespace memu::engine::dpor {
+
+std::vector<std::uint8_t> server_mask(const World& root) {
+  std::vector<std::uint8_t> mask(root.process_count(), 0);
+  for (std::size_t i = 0; i < root.process_count(); ++i) {
+    if (root.process(NodeId{static_cast<std::uint32_t>(i)}).is_server()) {
+      mask[i] = 1;
+    }
+  }
+  return mask;
+}
+
+}  // namespace memu::engine::dpor

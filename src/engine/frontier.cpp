@@ -8,10 +8,12 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "engine/dpor.h"
 #include "engine/replay.h"
 #include "engine/spill.h"
 #include "engine/thread_pool.h"
 #include "engine/visited.h"
+#include "sim/symmetry.h"
 
 namespace memu::engine {
 
@@ -28,6 +30,9 @@ struct Node {
   std::shared_ptr<const World> base;
   std::size_t base_depth = 0;
   std::vector<ExploreStep> path;
+  // Sleep set (engine/dpor.h): steps whose interleavings an earlier
+  // sibling branch already covers. Always empty when reduction is off.
+  std::vector<ExploreStep> sleep;
 };
 
 class Search {
@@ -45,7 +50,20 @@ class Search {
 
   ExploreResult run(const World& initial) {
     root_ = std::make_shared<const World>(initial);
-    Node root{root_, 0, {}};
+    sleep_on_ = opt_.reduction.sleep_sets;
+    if (sleep_on_) server_mask_ = dpor::server_mask(initial);
+    // Symmetry engages only when the root World is eligible; crashes and
+    // blocks during exploration never change eligibility (roles and the
+    // process set are fixed), so one root check covers the search.
+    symmetry_on_ = opt_.reduction.symmetry && symmetry::eligible(initial);
+    if (symmetry_on_ && opt_.dedupe && visited_budget(opt_) == 0) {
+      // Telemetry twin-detector for symmetry_merged: an auxiliary plain-
+      // fingerprint set, deliberately NOT maintained under a --mem budget
+      // (it is unmetered and would roughly double visited memory).
+      plain_seen_ = std::make_unique<VisitedSet>(
+          VisitedSet::Options{false, shard_count(opt_), 0});
+    }
+    Node root{root_, 0, {}, {}};
     if (opt_.threads <= 1) {
       push_bytes(root);
       frontier_.push_back(std::move(root));
@@ -68,6 +86,12 @@ class Search {
       result.spill_batches = spill_->batches_spilled();
       result.spilled_nodes = spill_->nodes_spilled();
     }
+    result.depth_cut = depth_cut_.load();
+    result.sleep_blocked = sleep_blocked_.load();
+    result.symmetry_merged = symmetry_merged_.load();
+    result.symmetry_applied = symmetry_on_;
+    result.replay_steps = replay_steps_.load();
+    result.max_pop_replay = max_pop_replay_.load();
     result.complete = complete_.load() && !aborted_.load();
     {
       std::lock_guard<std::mutex> lock(violation_mu_);
@@ -98,7 +122,8 @@ class Search {
   // therefore every spill decision — is identical across allocators and
   // stdlib growth policies.
   static std::size_t node_bytes(const Node& n) {
-    return sizeof(Node) + n.path.size() * sizeof(ExploreStep);
+    return sizeof(Node) +
+           (n.path.size() + n.sleep.size()) * sizeof(ExploreStep);
   }
 
   void push_bytes(const Node& n) {
@@ -122,13 +147,32 @@ class Search {
     if (opt_.stop_at_first_violation) aborted_.store(true);
   }
 
+  // Dedupe keys. Default: the state as-is. Under symmetry reduction the
+  // key is the canonical encoding (or its fingerprint) of the World
+  // relabeled by the orbit-canonical server permutation, so the whole
+  // orbit shares one key and merges into its first-visited member.
+  std::uint64_t dedupe_fingerprint(const World& world) const {
+    return symmetry_on_ ? symmetry::canonical_fingerprint(world)
+                        : world.state_hash();
+  }
+
+  void dedupe_key(const World& world, Bytes& buf) const {
+    if (symmetry_on_) {
+      symmetry::canonical_encoding(world, buf);
+    } else {
+      world.encode_canonical(buf);
+    }
+  }
+
   // Classifies `world` against the visited set and the max_states budget.
   // Returns true iff the caller should expand the state (fresh and within
   // budget); otherwise the node has been counted as deduped or truncated.
   // Fingerprint mode keys on World::state_hash() — the incremental hash
   // maintained through every mutation — so NO canonical encoding (and no
-  // per-node serialization at all) happens here. Exact mode pays the full
-  // encoding, through one recycled thread-local buffer.
+  // per-node serialization at all) happens here; symmetry reduction trades
+  // that back for one canonical (relabeled) encoding per admitted state.
+  // Exact mode pays the full encoding, through one recycled thread-local
+  // buffer.
   bool admit(const World& world) {
     if (states_visited_.load() >= opt_.max_states) {
       // Expansion budget exhausted: classify WITHOUT inserting — this
@@ -138,10 +182,10 @@ class Search {
       bool seen;
       if (opt_.exact_dedupe) {
         Bytes& buf = encode_buffer();
-        world.encode_canonical(buf);
+        dedupe_key(world, buf);
         seen = visited_.contains(buf);
       } else {
-        seen = visited_.contains(world.state_hash());
+        seen = visited_.contains(dedupe_fingerprint(world));
       }
       if (seen) {
         deduped_.fetch_add(1);
@@ -154,12 +198,18 @@ class Search {
     bool fresh;
     if (opt_.exact_dedupe) {
       Bytes& buf = encode_buffer();
-      world.encode_canonical(buf);
+      dedupe_key(world, buf);
       fresh = visited_.try_insert(buf);
     } else {
-      fresh = visited_.try_insert(world.state_hash());
+      fresh = visited_.try_insert(dedupe_fingerprint(world));
     }
     if (!fresh) deduped_.fetch_add(1);  // includes losing an insert race
+    if (plain_seen_ != nullptr) {
+      // symmetry_merged telemetry: a canonical-key hit whose PLAIN
+      // fingerprint is new merged a symmetric twin, not a literal revisit.
+      const bool plain_fresh = plain_seen_->try_insert(world.state_hash());
+      if (!fresh && plain_fresh) symmetry_merged_.fetch_add(1);
+    }
     return fresh;
   }
 
@@ -187,6 +237,14 @@ class Search {
     // frontier used to carry.
     World world = *node.base;
     replay(world, node.path, node.base_depth, node.path.size());
+    if (const std::size_t replayed = node.path.size() - node.base_depth;
+        replayed != 0) {
+      replay_steps_.fetch_add(replayed);
+      std::size_t prev = max_pop_replay_.load();
+      while (replayed > prev &&
+             !max_pop_replay_.compare_exchange_weak(prev, replayed)) {
+      }
+    }
 
     if (opt_.dedupe) {
       if (!admit(world)) return;
@@ -215,6 +273,7 @@ class Search {
     }
     if (node.path.size() >= opt_.max_depth) {
       complete_.store(false);
+      depth_cut_.fetch_add(1);
       return;
     }
 
@@ -229,6 +288,31 @@ class Search {
       base_depth = node.path.size();
     }
 
+    // Sleep-set filtering (engine/dpor.h): an enumerated step found in the
+    // node's sleep set is skipped — every interleaving it starts is
+    // already covered through an earlier sibling of an ancestor. An
+    // emitted child sleeps on the surviving inherited entries plus every
+    // step emitted BEFORE it in this loop that commutes with its own
+    // (dependent steps wake up). A node whose steps are ALL asleep emits
+    // nothing and simply retires — it is not terminal (its channels are
+    // non-empty), just redundant.
+    std::vector<ExploreStep> acc;  // inherited sleep + earlier emitted steps
+    if (sleep_on_) acc = node.sleep;
+    const auto emit_step = [&](ChannelId chan, std::size_t index) {
+      if (!sleep_on_) {
+        emit(make_child(base, base_depth, node.path, chan, index));
+        return;
+      }
+      const ExploreStep step{chan, index};
+      if (dpor::sleeps(node.sleep, step)) {
+        sleep_blocked_.fetch_add(1);
+        return;
+      }
+      Node child = make_child(base, base_depth, node.path, chan, index);
+      child.sleep = dpor::child_sleep(acc, step, server_mask_);
+      acc.push_back(step);
+      emit(std::move(child));
+    };
     for (const ChannelId chan : chans) {
       // `world` may be moved-from here; child generation reads only `base`
       // (when promoted) or the parent's queues via `probe`.
@@ -237,7 +321,7 @@ class Search {
         // First allowed index (may be > 0 under value/bulk blocks).
         const std::size_t index = probe.first_deliverable_index(chan);
         MEMU_CHECK(index != kNoIndex);
-        emit(make_child(base, base_depth, node.path, chan, index));
+        emit_step(chan, index);
         continue;
       }
       // Non-FIFO: branch over every deliverable position. Redundant
@@ -246,7 +330,7 @@ class Search {
       // would be unsound for non-adjacent duplicates, whose remaining
       // queue orders differ.
       for (const std::size_t index : probe.deliverable_indices(chan)) {
-        emit(make_child(base, base_depth, node.path, chan, index));
+        emit_step(chan, index);
       }
     }
   }
@@ -255,7 +339,7 @@ class Search {
                          std::size_t base_depth,
                          const std::vector<ExploreStep>& path, ChannelId chan,
                          std::size_t index) {
-    Node child{base, base_depth, path};
+    Node child{base, base_depth, path, {}};
     child.path.push_back({chan, index});
     return child;
   }
@@ -265,20 +349,64 @@ class Search {
     return *spill_;
   }
 
-  // Reconstitutes spilled paths as frontier nodes: the base snapshot was
-  // dropped at spill time, so a reloaded node replays its whole path from
-  // the root. That replay is deterministic — the node is state-identical
-  // to the one that was spilled.
-  Node reloaded_node(std::vector<ExploreStep>&& path) const {
-    return Node{root_, 0, std::move(path)};
+  // Consumes `nodes[0, count)` — which must share one base snapshot, and
+  // therefore one path prefix [0, base_depth) — into a batch storing that
+  // prefix once plus per-node suffixes and sleep sets.
+  static SpillBatch make_batch(Node* nodes, std::size_t count) {
+    SpillBatch batch;
+    const Node& first = nodes[0];
+    batch.prefix.assign(
+        first.path.begin(),
+        first.path.begin() + static_cast<std::ptrdiff_t>(first.base_depth));
+    batch.entries.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      Node& n = nodes[i];
+      SpillEntry entry;
+      entry.suffix.assign(
+          n.path.begin() + static_cast<std::ptrdiff_t>(n.base_depth),
+          n.path.end());
+      entry.sleep = std::move(n.sleep);
+      batch.entries.push_back(std::move(entry));
+    }
+    return batch;
+  }
+
+  // Reconstitutes a reloaded batch: the shared prefix replays ONCE from
+  // the root into one fresh base snapshot all the batch's nodes share, so
+  // a reloaded node's pop replays only its spilled suffix — which the
+  // promotion rule had already bounded by snapshot_interval. (Reloading
+  // used to hand nodes the ROOT as base, silently replaying the whole
+  // path per pop on deep frontiers.)
+  template <class Sink>
+  void load_batch(SpillBatch& batch, Sink&& sink) {
+    std::shared_ptr<const World> base = root_;
+    if (!batch.prefix.empty()) {
+      World w = *root_;
+      replay(w, batch.prefix, 0, batch.prefix.size());
+      replay_steps_.fetch_add(batch.prefix.size());
+      base = std::make_shared<const World>(std::move(w));
+    }
+    for (SpillEntry& entry : batch.entries) {
+      Node node;
+      node.base = base;
+      node.base_depth = batch.prefix.size();
+      node.path = batch.prefix;
+      node.path.insert(node.path.end(), entry.suffix.begin(),
+                       entry.suffix.end());
+      node.sleep = std::move(entry.sleep);
+      sink(std::move(node));
+    }
+    batch.entries.clear();
   }
 
   // Sequential spill policy: when the accounted frontier bytes exceed the
   // budget, move the COLD FRONT of the LIFO vector — the nodes a pure DFS
-  // would reach last — to disk as one ordered batch, down to half budget
-  // (hysteresis so spills batch up instead of thrashing). The hot tail
-  // stays in memory, so the pop order is untouched; the batch returns via
-  // reload_sequential() exactly when the DFS would have reached it.
+  // would reach last — to disk, down to half budget (hysteresis so spills
+  // batch up instead of thrashing). Consecutive front nodes sharing a base
+  // snapshot spill as one batch (same base => same prefix). The hot tail
+  // stays in memory, so the pop order is untouched; batches return via
+  // reload_sequential() LIFO, exactly when the DFS would have reached
+  // them.
   void maybe_spill_sequential() {
     if (frontier_budget_ == 0 ||
         frontier_bytes_.load() <= frontier_budget_)
@@ -291,11 +419,13 @@ class Search {
       ++take;
     }
     if (take == 0) return;
-    spill_paths_.clear();
-    spill_paths_.reserve(take);
-    for (std::size_t i = 0; i < take; ++i)
-      spill_paths_.push_back(std::move(frontier_[i].path));
-    spill_file().spill(spill_paths_);
+    std::size_t i = 0;
+    while (i < take) {
+      std::size_t j = i + 1;
+      while (j < take && frontier_[j].base == frontier_[i].base) ++j;
+      spill_file().spill(make_batch(frontier_.data() + i, j - i));
+      i = j;
+    }
     frontier_.erase(frontier_.begin(),
                     frontier_.begin() + static_cast<std::ptrdiff_t>(take));
     frontier_bytes_.fetch_sub(freed);
@@ -304,14 +434,13 @@ class Search {
   // Reloads the most recent spill batch when the in-memory frontier has
   // drained; returns false when no work remains anywhere.
   bool reload_sequential() {
-    if (spill_ == nullptr || !spill_->reload(spill_paths_)) return false;
-    frontier_.reserve(spill_paths_.size());
-    for (auto& path : spill_paths_) {
-      Node node = reloaded_node(std::move(path));
+    SpillBatch batch;
+    if (spill_ == nullptr || !spill_->reload(batch)) return false;
+    frontier_.reserve(frontier_.size() + batch.entries.size());
+    load_batch(batch, [&](Node&& node) {
       push_bytes(node);
       frontier_.push_back(std::move(node));
-    }
-    spill_paths_.clear();
+    });
     return true;
   }
 
@@ -362,35 +491,34 @@ class Search {
   // spilling moves nodes between workers exactly like a steal does, so
   // those guarantees are unchanged.
   void spill_parallel(std::vector<Node>& children) {
-    std::vector<std::vector<ExploreStep>> paths;
-    paths.reserve(children.size());
+    // All children of one visit share the visiting node's (possibly
+    // promoted) base, so the whole batch carries one prefix.
     std::size_t freed = 0;
-    for (Node& child : children) {
-      freed += node_bytes(child);
-      paths.push_back(std::move(child.path));
-    }
+    for (const Node& child : children) freed += node_bytes(child);
+    const SpillBatch batch = make_batch(children.data(), children.size());
     children.clear();
     {
       std::lock_guard<std::mutex> lock(spill_mu_);
-      spill_file().spill(paths);
+      spill_file().spill(batch);
     }
     frontier_bytes_.fetch_sub(freed);
   }
 
   bool refill_parallel(std::size_t id, WorkStealingPool<Node>& pool) {
-    std::vector<std::vector<ExploreStep>> paths;
+    SpillBatch batch;
     {
       std::lock_guard<std::mutex> lock(spill_mu_);
-      if (spill_ == nullptr || !spill_->reload(paths)) return false;
+      if (spill_ == nullptr || !spill_->reload(batch)) return false;
     }
-    std::vector<Node> batch;
-    batch.reserve(paths.size());
-    for (auto& path : paths) {
-      Node node = reloaded_node(std::move(path));
+    // Prefix replay happens outside the lock — one replay per batch, not
+    // per node.
+    std::vector<Node> nodes;
+    nodes.reserve(batch.entries.size());
+    load_batch(batch, [&](Node&& node) {
       push_bytes(node);
-      batch.push_back(std::move(node));
-    }
-    pool.submit(id, batch);
+      nodes.push_back(std::move(node));
+    });
+    pool.submit(id, nodes);
     return true;
   }
 
@@ -428,9 +556,14 @@ class Search {
   std::size_t frontier_budget_ = 0;  // bytes; 0 = unbudgeted
   VisitedSet visited_;
 
-  std::shared_ptr<const World> root_;  // replay base for reloaded nodes
+  std::shared_ptr<const World> root_;  // replay base for reloaded batches
   std::vector<Node> frontier_;         // sequential mode only
-  std::vector<std::vector<ExploreStep>> spill_paths_;  // sequential scratch
+
+  // --- partial-order reduction ---------------------------------------------
+  bool sleep_on_ = false;
+  bool symmetry_on_ = false;
+  std::vector<std::uint8_t> server_mask_;  // dpor independence input
+  std::unique_ptr<VisitedSet> plain_seen_;  // symmetry_merged telemetry
 
   std::atomic<std::size_t> frontier_bytes_{0};
   std::atomic<std::size_t> frontier_peak_{0};
@@ -442,6 +575,11 @@ class Search {
   std::atomic<std::size_t> transitions_{0};
   std::atomic<std::size_t> deduped_{0};
   std::atomic<std::size_t> truncated_{0};
+  std::atomic<std::size_t> depth_cut_{0};
+  std::atomic<std::size_t> sleep_blocked_{0};
+  std::atomic<std::size_t> symmetry_merged_{0};
+  std::atomic<std::size_t> replay_steps_{0};
+  std::atomic<std::size_t> max_pop_replay_{0};
   std::atomic<bool> complete_{true};
   std::atomic<bool> aborted_{false};
 

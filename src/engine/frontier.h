@@ -24,6 +24,14 @@
 // reported first, and the exact cut point when max_states truncates the
 // search. Invariant and terminal callbacks run concurrently when
 // threads > 1 and must be thread-safe.
+//
+// Exception: with Reduction::symmetry engaged, the COUNTERS are visit-order
+// dependent and may differ across thread counts (and between sequential
+// runs with different pop orders). The canonical key's signature tie-break
+// can under-merge, and which tie-sibling becomes the representative — and
+// whether its twins later re-merge — depends on interleaving. The verdict,
+// completeness, and the set of terminal-state ORBITS are invariant; see
+// tests/engine/reduction_test.cpp (ParallelReducedMatchesSequentialReduced).
 #pragma once
 
 #include <cstdint>
@@ -89,6 +97,26 @@ struct ExploreOptions {
   // Tests and benches use these to force spilling at precise thresholds.
   std::size_t visited_budget_bytes = 0;
   std::size_t frontier_budget_bytes = 0;
+
+  // --- partial-order reduction ---------------------------------------------
+  // Both reductions are opt-in and preserve the ok/violation verdict and
+  // the reachable terminal-state set (see DESIGN.md for the arguments and
+  // tests/engine/reduction_test.cpp for the differential checks).
+  struct Reduction {
+    // Sleep sets over the delivery independence relation (engine/dpor.h):
+    // prune interleavings that merely reorder commuting deliveries already
+    // covered by an earlier sibling branch. Cuts transitions and dedupe
+    // probes; the set of VISITED states is unchanged.
+    bool sleep_sets = false;
+    // Merge states differing only by a permutation of interchangeable
+    // servers (sim/symmetry.h): the dedupe key becomes the canonical
+    // encoding/fingerprint under the orbit-canonical server relabeling.
+    // Silently ignored unless the root World is eligible (every process
+    // opted in via Process::symmetry_relabelable and some role group has
+    // >= 2 servers) — check ExploreResult::symmetry_applied.
+    bool symmetry = false;
+  };
+  Reduction reduction;
 };
 
 // One delivery along an exploration path.
@@ -120,6 +148,28 @@ struct ExploreResult {
   std::size_t frontier_bytes = 0;
   std::size_t spill_batches = 0;
   std::size_t spilled_nodes = 0;
+  // Paths cut by max_depth. Like truncated, any nonzero value means the
+  // run did NOT cover the space (complete is false) — a depth-limited run
+  // reporting ok=true has only checked what it reached.
+  std::size_t depth_cut = 0;
+  // --- partial-order reduction telemetry -----------------------------------
+  // Children pruned because their step was in the parent's sleep set.
+  std::size_t sleep_blocked = 0;
+  // Dedupe hits that merged a SYMMETRIC twin (the plain fingerprint was
+  // fresh when the canonical key was not). Metered only on unbudgeted
+  // runs — the twin-detector is an unmetered auxiliary set — and 0 under
+  // --mem; the states_visited drop is the budget-safe measure.
+  std::size_t symmetry_merged = 0;
+  // Whether symmetry reduction actually engaged (requested AND the root
+  // World was eligible).
+  bool symmetry_applied = false;
+  // Replay work: total steps re-delivered materializing popped nodes and
+  // reloaded spill batches, and the largest single-pop replay (bounded by
+  // snapshot_interval — spilled batches re-promote a shared base on
+  // reload, see engine/spill.h). Telemetry only: budgeted and unbudgeted
+  // runs of the same space legitimately differ here.
+  std::size_t replay_steps = 0;
+  std::size_t max_pop_replay = 0;
   bool complete = false;  // the whole space fit within the bounds
   bool ok = true;         // no invariant/terminal violation found
   std::string violation;  // description of the first violation

@@ -5,12 +5,39 @@
 
 namespace memu::engine {
 
+namespace {
+
+void write_steps(BufWriter& w, const std::vector<ExploreStep>& steps) {
+  w.u64(steps.size());
+  for (const ExploreStep& step : steps) {
+    w.u32(step.chan.src.value);
+    w.u32(step.chan.dst.value);
+    w.u64(step.index);
+  }
+}
+
+std::vector<ExploreStep> read_steps(BufReader& r) {
+  const std::uint64_t len = r.u64();
+  std::vector<ExploreStep> steps;
+  steps.reserve(len);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    ExploreStep step;
+    step.chan.src = NodeId(r.u32());
+    step.chan.dst = NodeId(r.u32());
+    step.index = r.u64();
+    steps.push_back(step);
+  }
+  return steps;
+}
+
+}  // namespace
+
 SpillFile::~SpillFile() {
   if (file_ != nullptr) std::fclose(file_);  // tmpfile: close reclaims it
 }
 
-void SpillFile::spill(std::span<const std::vector<ExploreStep>> paths) {
-  if (paths.empty()) return;
+void SpillFile::spill(const SpillBatch& batch) {
+  if (batch.entries.empty()) return;
   if (file_ == nullptr) {
     file_ = std::tmpfile();
     MEMU_CHECK_MSG(file_ != nullptr,
@@ -21,14 +48,11 @@ void SpillFile::spill(std::span<const std::vector<ExploreStep>> paths) {
   // Serialize the whole batch into one buffer, then one fwrite: spills are
   // cold-path by design, but a single sequential write keeps them cheap.
   BufWriter w;
-  w.u64(paths.size());
-  for (const auto& path : paths) {
-    w.u64(path.size());
-    for (const ExploreStep& step : path) {
-      w.u32(step.chan.src.value);
-      w.u32(step.chan.dst.value);
-      w.u64(step.index);
-    }
+  write_steps(w, batch.prefix);
+  w.u64(batch.entries.size());
+  for (const SpillEntry& entry : batch.entries) {
+    write_steps(w, entry.suffix);
+    write_steps(w, entry.sleep);
   }
 
   // Write past the last pending batch: regions of already-reloaded batches
@@ -42,11 +66,11 @@ void SpillFile::spill(std::span<const std::vector<ExploreStep>> paths) {
                  "short write to frontier spill file — disk full?");
   batches_.push_back({offset, buf.size()});
   ++batches_spilled_;
-  nodes_spilled_ += paths.size();
+  nodes_spilled_ += batch.entries.size();
   bytes_spilled_ += buf.size();
 }
 
-bool SpillFile::reload(std::vector<std::vector<ExploreStep>>& out) {
+bool SpillFile::reload(SpillBatch& out) {
   if (batches_.empty()) return false;
   const BatchRecord rec = batches_.back();
   batches_.pop_back();
@@ -57,21 +81,15 @@ bool SpillFile::reload(std::vector<std::vector<ExploreStep>>& out) {
                  "short read from frontier spill file");
 
   BufReader r(buf);
+  out.prefix = read_steps(r);
   const std::uint64_t count = r.u64();
-  out.clear();
-  out.reserve(count);
+  out.entries.clear();
+  out.entries.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
-    const std::uint64_t len = r.u64();
-    std::vector<ExploreStep> path;
-    path.reserve(len);
-    for (std::uint64_t j = 0; j < len; ++j) {
-      ExploreStep step;
-      step.chan.src = NodeId(r.u32());
-      step.chan.dst = NodeId(r.u32());
-      step.index = r.u64();
-      path.push_back(step);
-    }
-    out.push_back(std::move(path));
+    SpillEntry entry;
+    entry.suffix = read_steps(r);
+    entry.sleep = read_steps(r);
+    out.entries.push_back(std::move(entry));
   }
   MEMU_CHECK_MSG(r.exhausted(), "trailing bytes in spill batch");
   return true;

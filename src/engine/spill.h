@@ -1,15 +1,25 @@
 // SpillFile: disk overflow for frontier nodes under a --mem budget.
 //
 // A compressed frontier node is fully determined by its delivery path from
-// the initial state (the base snapshot is an optimization, not state), so
-// spilling a node costs exactly its ExploreStep path — 16 bytes a step —
-// and reloading reconstitutes it by replay from the root snapshot. Batches
-// are strictly LIFO: reload() always returns the most recently spilled
-// batch, with its nodes in their original order. That discipline is what
-// lets the sequential explorer keep its DFS visit order byte-identical at
-// ANY budget: the frontier vector's cold front [0, k) moves to disk as one
-// batch, and when the in-memory tail drains, popping the reloaded batch
-// back-to-front continues exactly where an unbudgeted run would have.
+// the initial state plus its sleep set (partial-order reduction state —
+// empty when reduction is off), so spilling costs 16 bytes a step and
+// reloading reconstitutes the node by replay. Nodes spill in batches that
+// share one PATH PREFIX: the explorer groups nodes by their base snapshot,
+// and nodes with the same base share path[0, base_depth) verbatim (children
+// copy their parent's path; promotion pins base_depth at the parent's path
+// length). The batch stores that prefix once plus each node's suffix past
+// it, and reload replays the prefix a single time into one shared base
+// snapshot — so a reloaded node's next pop replays only its suffix, keeping
+// the "no pop ever replays more than snapshot_interval steps" bound that a
+// root-based reload used to break on deep frontiers.
+//
+// Batches are strictly LIFO: reload() always returns the most recently
+// spilled batch, with its nodes in their original order. That discipline is
+// what lets the sequential explorer keep its DFS visit order byte-identical
+// at ANY budget: the frontier vector's cold front [0, k) moves to disk as
+// consecutive per-base batches, and when the in-memory tail drains, popping
+// the reloaded batches back-to-front continues exactly where an unbudgeted
+// run would have.
 //
 // The backing store is one anonymous temp file (std::tmpfile — unlinked at
 // creation, reclaimed by the OS even on crash), created lazily on the
@@ -20,12 +30,25 @@
 #pragma once
 
 #include <cstdio>
-#include <span>
 #include <vector>
 
 #include "engine/frontier.h"
 
 namespace memu::engine {
+
+// One spilled node: its path past the batch's shared prefix, and the sleep
+// set it carried (partial-order reduction; empty otherwise).
+struct SpillEntry {
+  std::vector<ExploreStep> suffix;
+  std::vector<ExploreStep> sleep;
+};
+
+// One spill batch: nodes sharing the path prefix their common base
+// snapshot had already applied.
+struct SpillBatch {
+  std::vector<ExploreStep> prefix;
+  std::vector<SpillEntry> entries;
+};
 
 class SpillFile {
  public:
@@ -34,13 +57,13 @@ class SpillFile {
   SpillFile& operator=(const SpillFile&) = delete;
   ~SpillFile();
 
-  // Appends one batch of node paths. Order within the batch is preserved
-  // verbatim by the matching reload().
-  void spill(std::span<const std::vector<ExploreStep>> paths);
+  // Appends one batch. Entry order is preserved verbatim by the matching
+  // reload(). No-op for an entry-less batch.
+  void spill(const SpillBatch& batch);
 
   // Pops the most recently spilled batch into `out` (contents replaced).
   // Returns false — leaving `out` untouched — when nothing is pending.
-  bool reload(std::vector<std::vector<ExploreStep>>& out);
+  bool reload(SpillBatch& out);
 
   std::size_t batches_pending() const { return batches_.size(); }
   std::size_t batches_spilled() const { return batches_spilled_; }  // lifetime

@@ -139,6 +139,14 @@ class ChannelTable {
     for (const std::uint32_t slot : active_) fn(chan_of(slot), *slots_[slot]);
   }
 
+  // Order-sensitive fold of `chan`'s queue contents (a fixed constant for
+  // an empty channel). Symmetry canonicalization (sim/symmetry.cpp) builds
+  // per-server signatures from these folds without re-encoding payloads.
+  std::uint64_t queue_fold(ChannelId chan) const {
+    const Queue* q = find(chan);
+    return q == nullptr ? statehash::kQueueFoldSeed : fold_queue(*q);
+  }
+
   ChannelId chan_of(std::uint32_t slot) const {
     return ChannelId{NodeId{slot / static_cast<std::uint32_t>(nodes_)},
                      NodeId{slot % static_cast<std::uint32_t>(nodes_)}};

@@ -12,8 +12,11 @@
 // internal aliases that make a cloned copy observe the original.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/bits.h"
 #include "common/buffer.h"
@@ -63,6 +66,43 @@ struct Invocation {
   Bytes value;  // write value; empty for reads
 };
 
+// Node-id relabeling used by symmetry canonicalization (sim/symmetry.h).
+// Maps a node id to its canonical id. The map — when present — permutes
+// SERVER ids within each role group and is the identity on every other id,
+// so a process whose state embeds only client ids can relabel through it
+// as a no-op. A default-constructed NodeRelabeling is the identity (used
+// to express encode_state() in terms of encode_state_relabeled()).
+class NodeRelabeling {
+ public:
+  NodeRelabeling() = default;
+  explicit NodeRelabeling(const std::vector<std::uint32_t>* map)
+      : map_(map) {}
+
+  std::uint32_t operator()(NodeId id) const {
+    if (map_ == nullptr || id.value >= map_->size()) return id.value;
+    return (*map_)[id.value];
+  }
+  bool is_identity() const { return map_ == nullptr; }
+
+ private:
+  const std::vector<std::uint32_t>* map_ = nullptr;  // id -> canonical id
+};
+
+// Encodes a collection of node ids as u64 count + mapped ids in ascending
+// MAPPED order — the relabel-stable framing for id-keyed sets (two sets
+// equal up to the relabeling encode byte-equally). Under the identity
+// relabeling of an already-sorted range this matches the common
+// "u64 size + u32 ids in iteration order" hand-rolled encoding.
+template <class Range>
+inline void encode_relabeled_ids(const Range& ids, const NodeRelabeling& rank,
+                                 BufWriter& w) {
+  std::vector<std::uint32_t> mapped;
+  for (const NodeId id : ids) mapped.push_back(rank(id));
+  std::sort(mapped.begin(), mapped.end());
+  w.u64(mapped.size());
+  for (const std::uint32_t v : mapped) w.u32(v);
+}
+
 class Process {
  public:
   virtual ~Process() = default;
@@ -93,6 +133,42 @@ class Process {
 
   // True for server processes (counted in storage cost).
   virtual bool is_server() const { return false; }
+
+  // --- symmetry canonicalization (sim/symmetry.h) --------------------------
+  // The explorer's symmetry reduction merges World states that differ only
+  // by a permutation of interchangeable servers. For the merge to be sound,
+  // EVERY process must encode its state with embedded server ids mapped
+  // through the candidate relabeling — otherwise a client holding "acks
+  // from {server 1}" would compare equal to one holding "acks from
+  // {server 2}" after the channels were permuted, merging two states with
+  // different futures.
+  //
+  // A process opts in by returning true from symmetry_relabelable() and, if
+  // (and only if) its state embeds SERVER ids, overriding
+  // encode_state_relabeled() to map them. The relabeling is the identity on
+  // non-server ids by construction, so a process that embeds only client
+  // ids (e.g. a server tracking waiting readers) keeps the default
+  // encode_state_relabeled(), which forwards to encode_state().
+  //
+  // The default for symmetry_relabelable() is FALSE: an un-audited process
+  // conservatively disables symmetry for any World containing it (the
+  // exploration stays sound, just unreduced). Return true only after
+  // checking that either the state embeds no server ids, or
+  // encode_state_relabeled() maps every one it embeds — and that the
+  // process treats interchangeable servers interchangeably (a CAS client
+  // with a k >= 2 codec assigns a DIFFERENT coded element per server, so it
+  // must return false; with k == 1 every shard is the full value and server
+  // order is behaviorally irrelevant).
+  virtual bool symmetry_relabelable() const { return false; }
+
+  // Writes the same state encode_state() covers, with every embedded node
+  // id mapped through `rank` and id-keyed collections re-sorted by mapped
+  // id (so two relabel-equal states encode byte-equally). Must be byte-
+  // identical to encode_state() under the identity relabeling.
+  virtual void encode_state_relabeled(const NodeRelabeling& /*rank*/,
+                                      BufWriter& w) const {
+    w.raw(encode_state());
+  }
 
   NodeId id() const { return id_; }
   void set_id(NodeId id) { id_ = id; }

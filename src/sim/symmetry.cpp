@@ -1,0 +1,127 @@
+#include "sim/symmetry.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "common/hash.h"
+#include "sim/process.h"
+#include "sim/world.h"
+
+namespace memu::symmetry {
+
+namespace {
+
+// Server ids per role group (Process::name()), ids ascending within each
+// group by construction.
+std::map<std::string, std::vector<std::uint32_t>> role_groups(const World& w) {
+  std::map<std::string, std::vector<std::uint32_t>> groups;
+  for (std::uint32_t i = 0; i < w.process_count(); ++i) {
+    const Process& p = w.process(NodeId{i});
+    if (p.is_server()) groups[p.name()].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace
+
+bool eligible(const World& w) {
+  if (w.process_count() == 0) return false;
+  std::map<std::string, std::size_t> group_sizes;
+  bool any_pair = false;
+  for (std::uint32_t i = 0; i < w.process_count(); ++i) {
+    const Process& p = w.process(NodeId{i});
+    if (!p.symmetry_relabelable()) return false;
+    if (p.is_server() && ++group_sizes[p.name()] >= 2) any_pair = true;
+  }
+  return any_pair;
+}
+
+std::vector<std::uint32_t> canonical_map(const World& w) {
+  const auto n = static_cast<std::uint32_t>(w.process_count());
+  std::vector<std::uint32_t> map(n);
+  std::iota(map.begin(), map.end(), 0u);
+  const auto groups = role_groups(w);
+  // Signatures encode each member's own state under a relabeling that
+  // collapses every group to its minimal id: group peers are
+  // indistinguishable placeholders at signing time, so a server whose
+  // state happens to reference a symmetric peer still signs identically
+  // across the orbit.
+  std::vector<std::uint32_t> collapse(n);
+  std::iota(collapse.begin(), collapse.end(), 0u);
+  for (const auto& [role, ids] : groups) {
+    for (const std::uint32_t id : ids) collapse[id] = ids.front();
+  }
+  const NodeRelabeling collapsed(&collapse);
+  std::vector<std::uint8_t> in_group(n, 0);
+  for (const auto& [role, ids] : groups) {
+    if (ids.size() < 2) continue;
+    std::fill(in_group.begin(), in_group.end(), 0);
+    for (const std::uint32_t id : ids) in_group[id] = 1;
+    struct Signed {
+      Bytes sig;
+      std::uint32_t id;
+    };
+    std::vector<Signed> members;
+    members.reserve(ids.size());
+    for (const std::uint32_t id : ids) {
+      const NodeId nid{id};
+      BufWriter sw;
+      sw.boolean(w.is_crashed(nid));
+      sw.boolean(w.is_frozen(nid));
+      sw.boolean(w.is_value_blocked(nid));
+      sw.boolean(w.is_bulk_blocked(nid));
+      sw.boolean(w.in_partition(nid));
+      w.process(nid).encode_state_relabeled(collapsed, sw);
+      // Channel-queue folds in both directions: keyed by the counterpart
+      // for asymmetric counterparts, XOR-aggregated (direction-sensitive,
+      // peer-agnostic) over same-group peers so the signature stays
+      // invariant under permutations of the group itself.
+      std::uint64_t peer_agg = 0;
+      for (std::uint32_t other = 0; other < n; ++other) {
+        if (other == id) continue;
+        const std::uint64_t out_fold =
+            w.channel_queue_fold(ChannelId{nid, NodeId{other}});
+        const std::uint64_t in_fold =
+            w.channel_queue_fold(ChannelId{NodeId{other}, nid});
+        if (in_group[other]) {
+          peer_agg ^= mix64(mix64(out_fold ^ 0x9e3779b97f4a7c15ull) ^ in_fold);
+        } else {
+          sw.u32(other);
+          sw.u64(out_fold);
+          sw.u64(in_fold);
+        }
+      }
+      sw.u64(peer_agg);
+      members.push_back({std::move(sw).take(), id});
+    }
+    // Tie-break on id: not orbit-invariant, so a signature collision can
+    // make two symmetric Worlds pick different representatives. That only
+    // UNDER-merges (two orbit members survive); equal canonical bytes
+    // still certify a genuine relabeling, so soundness is unaffected.
+    std::sort(members.begin(), members.end(),
+              [](const Signed& a, const Signed& b) {
+                return a.sig != b.sig ? a.sig < b.sig : a.id < b.id;
+              });
+    for (std::size_t pos = 0; pos < ids.size(); ++pos) {
+      map[members[pos].id] = ids[pos];  // ids ascending: rank by sort order
+    }
+  }
+  return map;
+}
+
+void canonical_encoding(const World& w, Bytes& out) {
+  const auto map = canonical_map(w);
+  w.encode_canonical_relabeled(map, out);
+}
+
+std::uint64_t canonical_fingerprint(const World& w) {
+  thread_local Bytes buf;
+  canonical_encoding(w, buf);
+  return fingerprint64(buf);
+}
+
+}  // namespace memu::symmetry

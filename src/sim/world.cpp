@@ -334,6 +334,70 @@ void World::encode_canonical_into(BufWriter& w) const {
   });
 }
 
+void World::encode_canonical_relabeled(const std::vector<std::uint32_t>& map,
+                                       Bytes& out) const {
+  MEMU_CHECK(map.size() == processes_.size());
+  cowstats::note_canonical_encoding();
+  BufWriter w(std::move(out));
+  const NodeRelabeling rank(&map);
+  // Mapped-id position -> original index, so processes serialize in the
+  // order a physically relabeled World would hold them.
+  std::vector<std::uint32_t> inverse(map.size());
+  for (std::uint32_t i = 0; i < map.size(); ++i) inverse[map[i]] = i;
+  w.u64(processes_.size());
+  Bytes scratch;
+  for (const std::uint32_t original : inverse) {
+    BufWriter proc(std::move(scratch));  // clear, keep capacity across procs
+    processes_[original]->encode_state_relabeled(rank, proc);
+    w.bytes(proc.data());
+    scratch = std::move(proc).take();
+  }
+  // Channels re-sorted by mapped endpoints (for_each_nonempty yields
+  // original (src, dst) order, which the permutation may scramble).
+  struct Slot {
+    std::uint32_t src, dst;
+    const ChannelTable::Queue* queue;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(channels_.nonempty_count());
+  channels_.for_each_nonempty(
+      [&](ChannelId chan, const ChannelTable::Queue& queue) {
+        slots.push_back({rank(chan.src), rank(chan.dst), &queue});
+      });
+  std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  w.u64(slots.size());
+  for (const Slot& s : slots) {
+    w.u32(s.src);
+    w.u32(s.dst);
+    w.u64(s.queue->size());
+    for (const auto& msg : *s.queue) w.bytes(msg.payload->encode());
+  }
+  const auto encode_set = [&](const NodeSet& s) {
+    std::vector<std::uint32_t> ids;
+    ids.reserve(s.size());
+    s.for_each([&](NodeId id) { ids.push_back(rank(id)); });
+    std::sort(ids.begin(), ids.end());
+    w.u64(ids.size());
+    for (const std::uint32_t id : ids) w.u32(id);
+  };
+  encode_set(crashed_);
+  encode_set(frozen_);
+  encode_set(value_blocked_);
+  encode_set(bulk_blocked_);
+  encode_set(partition_);
+  w.u64(oplog_.size());
+  oplog_.for_each([&](const OpEvent& e) {
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u32(rank(e.client));
+    w.u64(e.op_id);
+    w.u8(static_cast<std::uint8_t>(e.type));
+    w.bytes(e.value);
+  });
+  out = std::move(w).take();
+}
+
 void World::flush_proc_hashes() const {
   if (!any_proc_dirty_) return;
   for (std::size_t i = 0; i < proc_dirty_.size(); ++i) {

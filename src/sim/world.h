@@ -253,6 +253,23 @@ class World {
   // instead of allocating a fresh Bytes per visited state.
   void encode_canonical(Bytes& out) const;
 
+  // encode_canonical() with every node id mapped through `map` (a full
+  // permutation of 0..process_count()-1): processes appear in mapped-id
+  // order and serialize via encode_state_relabeled(); channels re-sort by
+  // mapped (src, dst); failure sets list sorted mapped ids; oplog client
+  // ids map through. Byte-identical to encode_canonical() under the
+  // identity permutation (given faithful encode_state_relabeled
+  // overrides) — the dedupe key of the explorer's symmetry reduction
+  // (sim/symmetry.h). Counted as a canonical encoding in cowstats.
+  void encode_canonical_relabeled(const std::vector<std::uint32_t>& map,
+                                  Bytes& out) const;
+
+  // Order-sensitive fold of the messages in flight on `chan` (a fixed
+  // constant when empty). Building block for symmetry signatures.
+  std::uint64_t channel_queue_fold(ChannelId chan) const {
+    return channels_.queue_fold(chan);
+  }
+
   // Incremental 64-bit fingerprint of the complete logical state — the
   // same state canonical_encoding() serializes, but maintained Zobrist-
   // style in O(delta) per mutation: every component (process block,

@@ -1,0 +1,111 @@
+// The DPOR independence relation and sleep-set bookkeeping: unit-level
+// checks that the predicates implement the derivation documented in
+// engine/dpor.h (destination-disjointness, the client/client oplog race,
+// wake-up on dependence).
+#include "engine/dpor.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/abd/system.h"
+#include "sim/world.h"
+
+namespace memu::engine::dpor {
+namespace {
+
+ExploreStep step(std::uint32_t src, std::uint32_t dst, std::size_t index = 0) {
+  return {{NodeId(src), NodeId(dst)}, index};
+}
+
+// Mask with nodes 0..1 clients, 2..4 servers — the shape of a small
+// client/server system, hand-built so the predicate tests don't depend on
+// any algorithm.
+std::vector<std::uint8_t> mask() { return {0, 0, 1, 1, 1}; }
+
+TEST(Dpor, ServerMaskReflectsProcessRoles) {
+  abd::Options opt;
+  opt.n_servers = 3;
+  opt.f = 1;
+  opt.single_writer = true;
+  opt.value_size = 12;
+  abd::System sys = abd::make_system(opt);
+  const auto m = server_mask(sys.world);
+  ASSERT_EQ(m.size(), sys.world.process_count());
+  for (const NodeId s : sys.servers) EXPECT_EQ(m[s.value], 1) << s.value;
+  for (const NodeId c : sys.writers) EXPECT_EQ(m[c.value], 0) << c.value;
+  for (const NodeId c : sys.readers) EXPECT_EQ(m[c.value], 0) << c.value;
+}
+
+TEST(Dpor, SameDestinationIsDependent) {
+  // Both deliveries mutate the same process (and possibly the same queue):
+  // never independent, regardless of roles or sources.
+  EXPECT_FALSE(independent(step(0, 2), step(1, 2), mask()));  // to a server
+  EXPECT_FALSE(independent(step(2, 0), step(3, 0), mask()));  // to a client
+  EXPECT_FALSE(independent(step(0, 2, 0), step(0, 2, 1), mask()));  // same chan
+}
+
+TEST(Dpor, DistinctServerDestinationsAreIndependent) {
+  EXPECT_TRUE(independent(step(0, 2), step(0, 3), mask()));
+  EXPECT_TRUE(independent(step(1, 4), step(0, 2), mask()));
+}
+
+TEST(Dpor, ServerClientPairsAreIndependent) {
+  // One side server, one side client: disjoint process state, and only
+  // the client side can append to the oplog — no shared structure.
+  EXPECT_TRUE(independent(step(0, 2), step(3, 1), mask()));
+  EXPECT_TRUE(independent(step(4, 0), step(1, 3), mask()));
+}
+
+TEST(Dpor, ClientClientPairsAreDependent) {
+  // Two client-destined deliveries race on oplog event ORDER, which is
+  // part of the canonical state: swapping them is observable.
+  EXPECT_FALSE(independent(step(2, 0), step(3, 1), mask()));
+}
+
+TEST(Dpor, IndependenceIsSymmetric) {
+  const auto m = mask();
+  const std::vector<ExploreStep> probes = {
+      step(0, 2), step(0, 3), step(2, 0), step(3, 1), step(1, 4, 2)};
+  for (const auto& a : probes) {
+    for (const auto& b : probes) {
+      EXPECT_EQ(independent(a, b, m), independent(b, a, m));
+    }
+  }
+}
+
+TEST(Dpor, SameStepComparesChannelAndIndex) {
+  EXPECT_TRUE(same_step(step(0, 2, 1), step(0, 2, 1)));
+  EXPECT_FALSE(same_step(step(0, 2, 1), step(0, 2, 2)));
+  EXPECT_FALSE(same_step(step(0, 2), step(0, 3)));
+  EXPECT_FALSE(same_step(step(0, 2), step(1, 2)));
+}
+
+TEST(Dpor, SleepsIsMembershipBySameStep) {
+  const std::vector<ExploreStep> z = {step(0, 2), step(1, 3, 4)};
+  EXPECT_TRUE(sleeps(z, step(0, 2)));
+  EXPECT_TRUE(sleeps(z, step(1, 3, 4)));
+  EXPECT_FALSE(sleeps(z, step(0, 2, 1)));
+  EXPECT_FALSE(sleeps(z, step(2, 0)));
+  EXPECT_FALSE(sleeps({}, step(0, 2)));
+}
+
+TEST(Dpor, ChildSleepKeepsOnlyStepsIndependentOfTheExecuted) {
+  // acc = {to server 2, to server 3, to client 0}; executing a delivery
+  // to server 3 wakes the dependent member (same dst) and keeps the rest
+  // EXCEPT pairs dependent with e.
+  const auto m = mask();
+  const std::vector<ExploreStep> acc = {step(0, 2), step(1, 3), step(2, 0)};
+  const auto child = child_sleep(acc, step(4, 3), m);
+  ASSERT_EQ(child.size(), 2u);
+  EXPECT_TRUE(same_step(child[0], step(0, 2)));
+  EXPECT_TRUE(same_step(child[1], step(2, 0)));
+
+  // Executing a client-destined delivery wakes every client-destined
+  // sleeper (oplog order) and keeps the server-destined ones.
+  const auto child2 = child_sleep(acc, step(3, 1), m);
+  ASSERT_EQ(child2.size(), 2u);
+  EXPECT_TRUE(same_step(child2[0], step(0, 2)));
+  EXPECT_TRUE(same_step(child2[1], step(1, 3)));
+}
+
+}  // namespace
+}  // namespace memu::engine::dpor

@@ -1,0 +1,324 @@
+// Differential equivalence of the partial-order reductions: DPOR sleep
+// sets and server-symmetry merging must preserve the ok/violation verdict
+// and the reachable terminal-state set against full exploration — across
+// algorithms (ABD, ABD one-phase-regular, CAS, LDR), FIFO and reorder
+// branching, sequential and parallel draining, and budgeted and
+// unbudgeted runs. Terminal states are compared as exact ORBIT-KEY sets
+// (minimum relabeled-encoding fingerprint over every within-role server
+// permutation): symmetry merges mirror-image terminals, so the reduced
+// set must equal the full set folded onto orbit representatives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algo/abd/system.h"
+#include "common/hash.h"
+#include "algo/cas/system.h"
+#include "algo/ldr/ldr.h"
+#include "engine/frontier.h"
+#include "sim/symmetry.h"
+#include "sim/world.h"
+
+namespace memu {
+namespace {
+
+World abd_world(bool write_back = true) {
+  abd::Options opt;
+  opt.n_servers = 3;
+  opt.f = 1;
+  opt.single_writer = true;
+  opt.read_write_back = write_back;
+  opt.value_size = 12;
+  abd::System sys = abd::make_system(opt);
+  sys.world.invoke(sys.writers[0], {OpType::kWrite, unique_value(1, 1, 12)});
+  sys.world.invoke(sys.readers[0], {OpType::kRead, {}});
+  return std::move(sys.world);
+}
+
+World cas_world() {
+  cas::Options opt;
+  opt.n_servers = 3;
+  opt.f = 1;
+  opt.k = 1;
+  opt.n_writers = 1;
+  opt.value_size = 12;
+  cas::System sys = cas::make_system(opt);
+  sys.world.invoke(sys.writers[0], {OpType::kWrite, unique_value(1, 1, 12)});
+  sys.world.invoke(sys.readers[0], {OpType::kRead, {}});
+  return std::move(sys.world);
+}
+
+World ldr_world() {
+  ldr::Options opt;
+  // Small enough for exhaustive FULL exploration: the default n=5/f=2
+  // space blows past any reasonable cap without the reductions.
+  opt.n_servers = 3;
+  opt.f = 1;
+  ldr::System sys = ldr::make_system(opt);
+  sys.world.invoke(sys.writers[0], {OpType::kWrite, unique_value(1, 1, 12)});
+  return std::move(sys.world);
+}
+
+// Exact orbit key for a state: the minimum encoding fingerprint over ALL
+// within-role-group server permutations. symmetry::canonical_fingerprint
+// would NOT do here — its signature tie-break may under-merge (two
+// mirror-image states keeping distinct canonical keys), which is fine for
+// the explorer (it only costs merge rate) but would make this test's
+// full-run fold disagree with the reduced run's representative choice.
+// Enumerating the whole orbit (3! = 6 maps for these worlds) removes the
+// tie sensitivity: equal orbits get equal minima, certified by the full
+// relabeled encoding.
+class OrbitKey {
+ public:
+  explicit OrbitKey(const World& root) {
+    std::map<std::string, std::vector<std::uint32_t>> groups;
+    for (std::uint32_t i = 0; i < root.process_count(); ++i) {
+      const Process& p = root.process(NodeId(i));
+      if (p.is_server()) groups[p.name()].push_back(i);
+    }
+    // Cartesian product of per-group permutations, each expressed as a
+    // full id map (identity outside the group).
+    std::vector<std::uint32_t> base(root.process_count());
+    std::iota(base.begin(), base.end(), 0);
+    maps_.push_back(base);
+    for (auto& [name, ids] : groups) {
+      std::vector<std::uint32_t> perm = ids;
+      std::vector<std::vector<std::uint32_t>> expanded;
+      std::sort(perm.begin(), perm.end());
+      do {
+        for (const auto& m : maps_) {
+          auto next = m;
+          for (std::size_t i = 0; i < ids.size(); ++i)
+            next[ids[i]] = m[perm[i]];
+          expanded.push_back(std::move(next));
+        }
+      } while (std::next_permutation(perm.begin(), perm.end()));
+      maps_ = std::move(expanded);
+    }
+  }
+
+  std::uint64_t operator()(const World& state) const {
+    std::uint64_t best = ~0ull;
+    Bytes buf;
+    for (const auto& m : maps_) {
+      state.encode_canonical_relabeled(m, buf);
+      best = std::min(best, fingerprint64(buf));
+    }
+    return best;
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> maps_;
+};
+
+// Explore `w` and collect the set of terminal states, keyed by the exact
+// orbit key when the world is symmetry-eligible (so a full run's
+// mirror-image terminals fold onto the reduced run's representative) and
+// the plain state hash otherwise. The collector mutex keeps the callback
+// thread-safe for the parallel configurations.
+struct TerminalSet {
+  ExploreResult result;
+  std::set<std::uint64_t> terminals;
+};
+
+TerminalSet explore_terminals(const World& w, const ExploreOptions& opt) {
+  TerminalSet out;
+  const bool canonical = symmetry::eligible(w);
+  const OrbitKey orbit(w);
+  std::mutex mu;
+  out.result = engine::frontier_search(
+      w, opt, {}, [&](const World& state) -> std::optional<std::string> {
+        const std::uint64_t key = canonical ? orbit(state) : state.state_hash();
+        const std::lock_guard<std::mutex> lock(mu);
+        out.terminals.insert(key);
+        return std::nullopt;
+      });
+  return out;
+}
+
+ExploreOptions reduced(ExploreOptions opt = {}) {
+  opt.reduction.sleep_sets = true;
+  opt.reduction.symmetry = true;
+  return opt;
+}
+
+void expect_equivalent(const TerminalSet& full, const TerminalSet& redu) {
+  ASSERT_TRUE(full.result.complete);
+  ASSERT_TRUE(redu.result.complete);
+  EXPECT_EQ(full.result.ok, redu.result.ok);
+  EXPECT_EQ(full.terminals, redu.terminals);
+  // The reduction must not have INCREASED the work.
+  EXPECT_LE(redu.result.states_visited, full.result.states_visited);
+  EXPECT_LE(redu.result.transitions, full.result.transitions);
+}
+
+TEST(Reduction, AbdFifoVerdictAndTerminalSetMatch) {
+  const World w = abd_world();
+  expect_equivalent(explore_terminals(w, {}),
+                    explore_terminals(w, reduced()));
+}
+
+TEST(Reduction, AbdReorderVerdictAndTerminalSetMatch) {
+  const World w = abd_world();
+  ExploreOptions full;
+  full.reorder = true;
+  const auto f = explore_terminals(w, full);
+  const auto r = explore_terminals(w, reduced(full));
+  expect_equivalent(f, r);
+  // The reorder space is where the reduction pays: require a real cut,
+  // not a degenerate pass-through.
+  EXPECT_LT(r.result.states_visited * 4, f.result.states_visited);
+  EXPECT_TRUE(r.result.symmetry_applied);
+  EXPECT_GT(r.result.sleep_blocked, 0u);
+}
+
+TEST(Reduction, CasFifoVerdictAndTerminalSetMatch) {
+  const World w = cas_world();
+  const auto f = explore_terminals(w, {});
+  const auto r = explore_terminals(w, reduced());
+  expect_equivalent(f, r);
+  EXPECT_TRUE(r.result.symmetry_applied);
+}
+
+TEST(Reduction, LdrIsSymmetryIneligibleButSleepSetsStillExact) {
+  // LDR processes keep the conservative symmetry opt-out, so a reduced
+  // run must record symmetry_applied=false and fall back to plain-hash
+  // dedupe — while sleep sets alone still preserve the terminal set.
+  const World w = ldr_world();
+  ExploreOptions full;
+  full.max_states = 200'000;
+  const auto f = explore_terminals(w, full);
+  const auto r = explore_terminals(w, reduced(full));
+  EXPECT_FALSE(r.result.symmetry_applied);
+  EXPECT_EQ(r.result.symmetry_merged, 0u);
+  expect_equivalent(f, r);
+  // Sleep sets never change WHICH states are visited, only how many
+  // transitions re-derive them.
+  EXPECT_EQ(f.result.states_visited, r.result.states_visited);
+}
+
+TEST(Reduction, AbdRegularInversionStillFoundUnderReduction) {
+  // The pinned counterexample: one-phase regular reads reach the new-old
+  // inversion state (a read returned the new value while a majority of
+  // servers still hold the initial tag). A reduction that prunes it away
+  // would be unsound — and the check itself is symmetric under server
+  // relabeling (it counts stale servers, never names one).
+  const Value v1 = unique_value(1, 1, 12);
+  abd::Options opt;
+  opt.n_servers = 3;
+  opt.f = 1;
+  opt.single_writer = true;
+  opt.read_write_back = false;
+  opt.value_size = 12;
+  abd::System sys = abd::make_system(opt);
+  sys.world.invoke(sys.writers[0], {OpType::kWrite, v1});
+  sys.world.invoke(sys.readers[0], {OpType::kRead, {}});
+  const auto check =
+      [&sys, v1](const World& state) -> std::optional<std::string> {
+    bool saw_new = false;
+    state.oplog().for_each([&](const OpEvent& e) {
+      if (e.kind == OpEvent::Kind::kResponse && e.type == OpType::kRead &&
+          e.value == v1)
+        saw_new = true;
+    });
+    if (!saw_new) return std::nullopt;
+    std::size_t stale = 0;
+    for (const NodeId s : sys.servers) {
+      if (dynamic_cast<const abd::Server&>(state.process(s)).tag() ==
+          Tag::initial())
+        ++stale;
+    }
+    if (stale >= 2) return "new-old inversion state reached";
+    return std::nullopt;
+  };
+  const auto f = engine::frontier_search(sys.world, {}, check, {});
+  const auto r = engine::frontier_search(sys.world, reduced(), check, {});
+  EXPECT_FALSE(f.ok);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(f.violation, r.violation);
+}
+
+TEST(Reduction, SleepSetsAloneKeepTheVisitedStateSetIdentical) {
+  // Sleep sets prune redundant INTERLEAVINGS, not states: states_visited,
+  // terminal_states, and the terminal set are identical to the full run;
+  // only transitions (and deduped) shrink.
+  const World w = abd_world();
+  ExploreOptions full;
+  full.reorder = true;
+  ExploreOptions sleep_only = full;
+  sleep_only.reduction.sleep_sets = true;
+  const auto f = explore_terminals(w, full);
+  const auto s = explore_terminals(w, sleep_only);
+  EXPECT_EQ(f.result.states_visited, s.result.states_visited);
+  EXPECT_EQ(f.result.terminal_states, s.result.terminal_states);
+  EXPECT_EQ(f.terminals, s.terminals);
+  EXPECT_LT(s.result.transitions, f.result.transitions);
+  EXPECT_GT(s.result.sleep_blocked, 0u);
+  // Accounting identity holds with blocked children never emitted.
+  EXPECT_EQ(s.result.transitions, (s.result.states_visited - 1) +
+                                      s.result.deduped + s.result.truncated);
+}
+
+TEST(Reduction, ParallelReducedMatchesSequentialReduced) {
+  // Under symmetry merging the COUNTERS are legitimately order-dependent:
+  // when two canonical keys tie, whichever representative is visited
+  // first wins, and later tie-siblings may or may not re-merge depending
+  // on thread interleaving — so parallel states_visited can differ from
+  // sequential (unlike every non-symmetry mode, where the counters are
+  // bit-identical across thread counts). What IS invariant is the
+  // semantics: the verdict, completeness, and the orbit set of terminal
+  // states.
+  const World w = abd_world();
+  ExploreOptions seq = reduced();
+  seq.reorder = true;
+  ExploreOptions par = seq;
+  par.threads = 4;
+  const auto s = explore_terminals(w, seq);
+  const auto p = explore_terminals(w, par);
+  ASSERT_TRUE(s.result.complete);
+  ASSERT_TRUE(p.result.complete);
+  EXPECT_EQ(s.result.ok, p.result.ok);
+  EXPECT_EQ(s.terminals, p.terminals);
+  // Both must still be genuine reductions of the full space.
+  ExploreOptions full;
+  full.reorder = true;
+  const auto f = explore_terminals(w, full);
+  EXPECT_LE(s.result.states_visited, f.result.states_visited);
+  EXPECT_LE(p.result.states_visited, f.result.states_visited);
+  EXPECT_EQ(s.terminals, f.terminals);
+}
+
+TEST(Reduction, BudgetedReducedMatchesUnbudgeted) {
+  // The --mem contract composes with the reductions: a frontier budget
+  // tight enough to force spilling (sleep sets ride through the spill
+  // file) must reproduce the reduced run's semantic counters exactly.
+  const World w = abd_world();
+  ExploreOptions unbudgeted = reduced();
+  unbudgeted.reorder = true;
+  ExploreOptions budgeted = unbudgeted;
+  budgeted.frontier_budget_bytes = 4096;
+  const auto u = explore_terminals(w, unbudgeted);
+  const auto b = explore_terminals(w, budgeted);
+  EXPECT_GT(b.result.spill_batches, 0u);
+  EXPECT_EQ(u.result.states_visited, b.result.states_visited);
+  EXPECT_EQ(u.result.terminal_states, b.result.terminal_states);
+  EXPECT_EQ(u.result.transitions, b.result.transitions);
+  EXPECT_EQ(u.result.deduped, b.result.deduped);
+  EXPECT_EQ(u.result.sleep_blocked, b.result.sleep_blocked);
+  EXPECT_EQ(u.result.ok, b.result.ok);
+  EXPECT_EQ(u.terminals, b.terminals);
+  // A FRONTIER budget spills nodes but keeps the plain-hash side table,
+  // so symmetry_merged stays metered and identical; only a VISITED
+  // budget (--mem) drops the meter to zero.
+  EXPECT_GT(u.result.symmetry_merged, 0u);
+  EXPECT_EQ(b.result.symmetry_merged, u.result.symmetry_merged);
+}
+
+}  // namespace
+}  // namespace memu

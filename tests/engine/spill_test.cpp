@@ -1,5 +1,6 @@
-// SpillFile: round-trip fidelity, LIFO batch discipline, and the
-// file-extent-reuse accounting the frontier's --mem contract leans on.
+// SpillFile: round-trip fidelity (prefix + suffixes + sleep sets), LIFO
+// batch discipline, and the file-extent-reuse accounting the frontier's
+// --mem contract leans on.
 #include "engine/spill.h"
 
 #include <gtest/gtest.h>
@@ -9,8 +10,6 @@
 namespace memu::engine {
 namespace {
 
-using Paths = std::vector<std::vector<ExploreStep>>;
-
 std::vector<ExploreStep> path_of(std::uint32_t tag, std::size_t len) {
   std::vector<ExploreStep> p;
   for (std::size_t i = 0; i < len; ++i)
@@ -18,69 +17,102 @@ std::vector<ExploreStep> path_of(std::uint32_t tag, std::size_t len) {
   return p;
 }
 
-void expect_paths_eq(const Paths& a, const Paths& b) {
+SpillBatch batch_of(std::uint32_t tag, std::size_t prefix_len,
+                    std::size_t entries) {
+  SpillBatch b;
+  b.prefix = path_of(tag, prefix_len);
+  for (std::size_t i = 0; i < entries; ++i) {
+    const auto e = static_cast<std::uint32_t>(tag + 10 * (i + 1));
+    b.entries.push_back({path_of(e, i % 4), path_of(e + 1, i % 3)});
+  }
+  return b;
+}
+
+void expect_steps_eq(const std::vector<ExploreStep>& a,
+                     const std::vector<ExploreStep>& b) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    ASSERT_EQ(a[i].size(), b[i].size()) << "path " << i;
-    for (std::size_t j = 0; j < a[i].size(); ++j) {
-      EXPECT_EQ(a[i][j].chan.src.value, b[i][j].chan.src.value);
-      EXPECT_EQ(a[i][j].chan.dst.value, b[i][j].chan.dst.value);
-      EXPECT_EQ(a[i][j].index, b[i][j].index);
-    }
+    EXPECT_EQ(a[i].chan.src.value, b[i].chan.src.value);
+    EXPECT_EQ(a[i].chan.dst.value, b[i].chan.dst.value);
+    EXPECT_EQ(a[i].index, b[i].index);
+  }
+}
+
+void expect_batches_eq(const SpillBatch& a, const SpillBatch& b) {
+  expect_steps_eq(a.prefix, b.prefix);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    expect_steps_eq(a.entries[i].suffix, b.entries[i].suffix);
+    expect_steps_eq(a.entries[i].sleep, b.entries[i].sleep);
   }
 }
 
 TEST(SpillFile, RoundTripsOneBatchVerbatim) {
   SpillFile spill;
-  const Paths batch = {path_of(1, 3), path_of(2, 0), path_of(3, 7)};
+  const SpillBatch batch = batch_of(1, 5, 3);
   spill.spill(batch);
   EXPECT_EQ(spill.batches_pending(), 1u);
   EXPECT_EQ(spill.nodes_spilled(), 3u);
 
-  Paths out;
+  SpillBatch out;
   ASSERT_TRUE(spill.reload(out));
-  expect_paths_eq(batch, out);
+  expect_batches_eq(batch, out);
   EXPECT_EQ(spill.batches_pending(), 0u);
   EXPECT_FALSE(spill.reload(out));
+}
+
+TEST(SpillFile, RoundTripsEmptyPrefixAndEmptySleepSets) {
+  // Reduction off + root-based nodes: prefix and sleep sets are all empty
+  // and must come back that way (not as garbage lengths).
+  SpillFile spill;
+  SpillBatch batch;
+  batch.entries.push_back({path_of(7, 4), {}});
+  batch.entries.push_back({{}, {}});
+  spill.spill(batch);
+  SpillBatch out;
+  ASSERT_TRUE(spill.reload(out));
+  expect_batches_eq(batch, out);
 }
 
 TEST(SpillFile, ReloadIsLifoAcrossBatches) {
   // The DFS-order contract hangs on this: the most recently spilled batch
   // is the hottest, and must come back first.
   SpillFile spill;
-  const Paths first = {path_of(1, 2)};
-  const Paths second = {path_of(2, 4), path_of(3, 1)};
-  const Paths third = {path_of(4, 5)};
+  const SpillBatch first = batch_of(1, 2, 1);
+  const SpillBatch second = batch_of(2, 0, 2);
+  const SpillBatch third = batch_of(4, 7, 1);
   spill.spill(first);
   spill.spill(second);
   spill.spill(third);
   EXPECT_EQ(spill.batches_pending(), 3u);
 
-  Paths out;
+  SpillBatch out;
   ASSERT_TRUE(spill.reload(out));
-  expect_paths_eq(third, out);
+  expect_batches_eq(third, out);
   ASSERT_TRUE(spill.reload(out));
-  expect_paths_eq(second, out);
+  expect_batches_eq(second, out);
   ASSERT_TRUE(spill.reload(out));
-  expect_paths_eq(first, out);
+  expect_batches_eq(first, out);
   EXPECT_FALSE(spill.reload(out));
 }
 
 TEST(SpillFile, EmptyBatchIsANoOp) {
   SpillFile spill;
-  spill.spill(Paths{});
+  SpillBatch empty;
+  empty.prefix = path_of(1, 3);  // a prefix with no entries is still empty
+  spill.spill(empty);
   EXPECT_EQ(spill.batches_pending(), 0u);
   EXPECT_EQ(spill.batches_spilled(), 0u);
-  Paths out;
+  SpillBatch out;
   EXPECT_FALSE(spill.reload(out));
 }
 
 TEST(SpillFile, LifetimeCountersSurviveReloads) {
   SpillFile spill;
-  spill.spill(Paths{path_of(1, 2), path_of(2, 2)});
-  Paths out;
+  spill.spill(batch_of(1, 2, 2));
+  SpillBatch out;
   ASSERT_TRUE(spill.reload(out));
-  spill.spill(Paths{path_of(3, 2)});
+  spill.spill(batch_of(3, 2, 1));
   ASSERT_TRUE(spill.reload(out));
   // Pending drains to zero; the lifetime telemetry keeps the history.
   EXPECT_EQ(spill.batches_pending(), 0u);
@@ -94,13 +126,13 @@ TEST(SpillFile, ReloadedRegionsAreReusedByLaterSpills) {
   // bytes, so a long exploration that cycles batches through disk never
   // grows the file past its high-water mark of simultaneous batches.
   SpillFile spill;
-  const Paths batch = {path_of(1, 10), path_of(2, 10)};
+  const SpillBatch batch = batch_of(1, 10, 2);
   spill.spill(batch);
   const std::size_t one_batch_bytes = spill.bytes_spilled();
-  Paths out;
+  SpillBatch out;
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(spill.reload(out));
-    expect_paths_eq(batch, out);
+    expect_batches_eq(batch, out);
     spill.spill(batch);
     EXPECT_EQ(spill.batches_pending(), 1u);
   }
@@ -111,12 +143,13 @@ TEST(SpillFile, ReloadedRegionsAreReusedByLaterSpills) {
 
 TEST(SpillFile, HandlesLargeBatches) {
   SpillFile spill;
-  Paths big;
-  for (std::uint32_t i = 0; i < 2000; ++i) big.push_back(path_of(i, 20));
+  SpillBatch big = batch_of(1, 50, 0);
+  for (std::uint32_t i = 0; i < 2000; ++i)
+    big.entries.push_back({path_of(i, 20), path_of(i + 1, 5)});
   spill.spill(big);
-  Paths out;
+  SpillBatch out;
   ASSERT_TRUE(spill.reload(out));
-  expect_paths_eq(big, out);
+  expect_batches_eq(big, out);
 }
 
 }  // namespace

@@ -1,0 +1,140 @@
+// Process-symmetry canonicalization: eligibility gating (per-process
+// opt-in, the CAS k==1 rule, LDR's exclusion), the canonical-relabeled
+// encoding's identity contract, and the actual merge property — symmetric
+// deliveries producing equal canonical keys while the plain state hash
+// still separates them.
+#include "sim/symmetry.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algo/abd/system.h"
+#include "algo/cas/system.h"
+#include "algo/ldr/ldr.h"
+#include "sim/world.h"
+
+namespace memu::symmetry {
+namespace {
+
+abd::System abd_system() {
+  abd::Options opt;
+  opt.n_servers = 3;
+  opt.f = 1;
+  opt.single_writer = true;
+  opt.value_size = 12;
+  abd::System sys = abd::make_system(opt);
+  sys.world.invoke(sys.writers[0], {OpType::kWrite, unique_value(1, 1, 12)});
+  sys.world.invoke(sys.readers[0], {OpType::kRead, {}});
+  return sys;
+}
+
+cas::System cas_system(std::size_t n_servers, std::size_t k) {
+  cas::Options opt;
+  opt.n_servers = n_servers;
+  opt.f = 1;
+  opt.k = k;
+  opt.n_writers = 1;
+  opt.value_size = 12;
+  return cas::make_system(opt);
+}
+
+TEST(Symmetry, AbdIsEligible) {
+  const abd::System sys = abd_system();
+  EXPECT_TRUE(eligible(sys.world));
+}
+
+TEST(Symmetry, CasEligibilityFollowsTheCodecKGate) {
+  // k == 1: every RS shard IS the value, so servers are interchangeable.
+  EXPECT_TRUE(eligible(cas_system(3, 1).world));
+  // k >= 2: each server holds a DISTINCT coded element — permuting the
+  // servers permutes which element lives where, which is observable.
+  // The CAS clients return false from symmetry_relabelable().
+  EXPECT_FALSE(eligible(cas_system(4, 2).world));
+}
+
+TEST(Symmetry, LdrIsIneligible) {
+  // LDR directory state and message payloads embed server ids (location
+  // vectors) and split servers into directory/replica roles; its
+  // processes keep the conservative default opt-out.
+  ldr::Options opt;
+  const ldr::System sys = ldr::make_system(opt);
+  EXPECT_FALSE(eligible(sys.world));
+}
+
+TEST(Symmetry, CanonicalMapIsIdentityOnClientsAndPermutesServers) {
+  const abd::System sys = abd_system();
+  const auto map = canonical_map(sys.world);
+  ASSERT_EQ(map.size(), sys.world.process_count());
+  for (const NodeId c : sys.writers) EXPECT_EQ(map[c.value], c.value);
+  for (const NodeId c : sys.readers) EXPECT_EQ(map[c.value], c.value);
+  // Bijective over the server ids: sorted image == sorted preimage.
+  std::vector<std::uint32_t> image, ids;
+  for (const NodeId s : sys.servers) {
+    image.push_back(map[s.value]);
+    ids.push_back(s.value);
+  }
+  std::sort(image.begin(), image.end());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(image, ids);
+}
+
+TEST(Symmetry, RelabeledEncodingUnderIdentityMatchesCanonicalEncoding) {
+  // The byte-identity contract encode_state_relabeled() implementations
+  // must honor, checked through an evolved state (queues, statuses, and
+  // oplog all populated).
+  abd::System sys = abd_system();
+  sys.world.deliver({sys.writers[0], sys.servers[0]});
+  sys.world.deliver({sys.writers[0], sys.servers[1]});
+  sys.world.deliver({sys.servers[0], sys.writers[0]});
+  std::vector<std::uint32_t> identity(sys.world.process_count());
+  std::iota(identity.begin(), identity.end(), 0);
+  Bytes relabeled;
+  sys.world.encode_canonical_relabeled(identity, relabeled);
+  EXPECT_EQ(relabeled, sys.world.canonical_encoding());
+}
+
+TEST(Symmetry, SymmetricDeliveriesShareOneCanonicalKey) {
+  // From the post-invoke root the writer's broadcast is in flight to all
+  // three servers. Delivering to server i vs server j yields states that
+  // are exact mirror images: the canonical key must merge them while the
+  // plain incremental hash (correctly) separates them.
+  const abd::System sys = abd_system();
+  std::vector<World> worlds;
+  for (int i = 0; i < 3; ++i) {
+    World w = sys.world;
+    w.deliver({sys.writers[0], sys.servers[i]});
+    worlds.push_back(std::move(w));
+  }
+  Bytes canon0, canon;
+  canonical_encoding(worlds[0], canon0);
+  for (int i = 1; i < 3; ++i) {
+    canonical_encoding(worlds[i], canon);
+    EXPECT_EQ(canon, canon0) << "server " << i;
+    EXPECT_EQ(canonical_fingerprint(worlds[i]),
+              canonical_fingerprint(worlds[0]));
+    EXPECT_NE(worlds[i].state_hash(), worlds[0].state_hash());
+  }
+}
+
+TEST(Symmetry, AsymmetricStatesKeepDistinctCanonicalKeys) {
+  // Delivering TWO broadcast legs vs ONE reaches genuinely different
+  // states (different numbers of pending messages): no relabeling equates
+  // them, so their canonical keys must differ.
+  const abd::System sys = abd_system();
+  World one = sys.world;
+  one.deliver({sys.writers[0], sys.servers[0]});
+  World two = sys.world;
+  two.deliver({sys.writers[0], sys.servers[0]});
+  two.deliver({sys.writers[0], sys.servers[1]});
+  EXPECT_NE(canonical_fingerprint(one), canonical_fingerprint(two));
+}
+
+TEST(Symmetry, CanonicalFingerprintIsStableAcrossCalls) {
+  const abd::System sys = abd_system();
+  EXPECT_EQ(canonical_fingerprint(sys.world),
+            canonical_fingerprint(sys.world));
+}
+
+}  // namespace
+}  // namespace memu::symmetry

@@ -31,6 +31,11 @@ BENCHES = [
 
 failures = []
 
+# Absolute ceiling used when a baseline recorded frontier_bytes == 0 (the
+# multiplicative tolerance is vacuous at zero): 1 MiB of in-memory frontier
+# nodes on spaces this small means node compression stopped working.
+FRONTIER_ABS_FLOOR_BYTES = 1 << 20
+
 
 def fail(msg):
     failures.append(msg)
@@ -91,12 +96,27 @@ def check_explore(cur, base, tol):
                 f"{mode} visited_bytes", run["visited_bytes"],
                 b["visited_bytes"], tol)
         # Sequential modes only: the parallel peak depends on worker timing,
-        # so its byte count is not a stable gate.
-        if (b.get("frontier_bytes", 0) > 0 and "frontier_bytes" in run
-                and "parallel" not in mode):
-            check_upper_bound(
-                f"{mode} frontier_bytes", run["frontier_bytes"],
-                b["frontier_bytes"], tol)
+        # so its byte count is not a stable gate. Distinguish a baseline
+        # that predates the field (skip — nothing to compare) from one that
+        # recorded a literal 0 peak: a zero baseline would make the
+        # multiplicative ceiling vacuous (0 * (1+tol) == 0 fails any real
+        # run), so gate it against an absolute floor instead of silently
+        # skipping and letting the peak regrow unbounded.
+        if "frontier_bytes" in run and "parallel" not in mode:
+            if "frontier_bytes" not in b:
+                ok(f"{mode} frontier_bytes: no baseline field, skipping")
+            elif b["frontier_bytes"] > 0:
+                check_upper_bound(
+                    f"{mode} frontier_bytes", run["frontier_bytes"],
+                    b["frontier_bytes"], tol)
+            elif run["frontier_bytes"] > FRONTIER_ABS_FLOOR_BYTES:
+                fail(f"{mode} frontier_bytes {run['frontier_bytes']} vs "
+                     f"zero baseline (absolute floor "
+                     f"{FRONTIER_ABS_FLOOR_BYTES})")
+            else:
+                ok(f"{mode} frontier_bytes {run['frontier_bytes']} within "
+                   f"absolute floor {FRONTIER_ABS_FLOOR_BYTES} "
+                   "(zero baseline)")
         # Hard invariant, not a tolerance: fingerprint-mode exploration
         # must never serialize a canonical encoding (the incremental state
         # hash exists to remove exactly that cost).
@@ -150,7 +170,52 @@ def check_explore(cur, base, tol):
     check_lower_bound(
         "cow_copy_reduction_x", cur["cow_copy_reduction_x"],
         base["cow_copy_reduction_x"], tol)
+    check_reduction(cur, base, tol)
     check_peak_rss(cur, base, tol)
+
+
+def check_reduction(cur, base, tol):
+    """Partial-order-reduction gates.
+
+    Hard invariants at any state cap: the reduced runs must reach the same
+    ok/violation verdict as the full runs, and the reduced abd-regular
+    exploration must still exhibit the pinned new-old inversion
+    counterexample (a reduction that prunes it away is unsound, not slow).
+    The state-count ratios are gated only when both sides of a pair covered
+    their complete space — a smoke run truncates full and reduced at the
+    same cap, degenerating the ratio to ~1.
+    """
+    red = cur.get("reduction")
+    if red is None:
+        if base.get("reduction") is not None:
+            fail("reduction record missing from current bench")
+        else:
+            ok("no reduction record (pre-reduction bench), skipping")
+        return
+    if not red.get("verdict_match", False):
+        fail("reduced explore verdict diverged from full exploration")
+    else:
+        ok("reduced/full verdicts match")
+    if not red.get("pinned_violation_found", False):
+        fail("reduced abd-regular run missed the pinned new-old inversion "
+             "violation")
+    else:
+        ok("pinned abd-regular inversion still found under reduction")
+    base_red = base.get("reduction") or {}
+    for pair, floor in (("reorder", 5.0), ("n4", 5.0)):
+        if not red.get(f"{pair}_both_complete", False):
+            ok(f"{pair} reduction ratio not gated (truncated smoke run)")
+            continue
+        ratio = red.get(f"{pair}_reduction_x", 0)
+        # Never regress below the committed baseline ratio (with the usual
+        # tolerance), and never below the absolute floor the reductions
+        # were accepted at.
+        check_lower_bound(
+            f"{pair} states_reduction_x", ratio,
+            max(base_red.get(f"{pair}_reduction_x", floor), floor), tol)
+        if ratio < floor:
+            fail(f"{pair} states_reduction_x {ratio:.3g} below the "
+                 f"absolute {floor}x floor")
 
 
 def check_peak_rss(cur, base, tol):
