@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "common/arena.h"
 #include "fuzz/campaign.h"
 #include "fuzz/minimizer.h"
 #include "fuzz/plan.h"
@@ -187,6 +188,12 @@ int main() {
   root.set("bench", "fuzz")
       .set("config", "abd_n5_f2_standard_mix")
       .set("hardware_concurrency", cores)
+      // Alias read by tools/check_bench_regression.py: scaling gates apply
+      // only when the recording machine had the cores to scale on.
+      .set("cores", cores)
+      // High-water mark of World slab pages reserved across the whole
+      // process (see worldmem in common/arena.h).
+      .set("slab_bytes_reserved", worldmem::reserved_bytes())
       .set("walks", walks)
       .set("steps_total", runs.front().summary.steps_total)
       .set("violations", runs.front().summary.violations)

@@ -411,9 +411,10 @@ void engine_benchmark() {
             << exact_over_fp << "x smaller\n"
             << "    COW copies: " << s.cow.world_copies << " world copies, "
             << s.cow.detaches() << " detaches, " << per_state(s)
-            << " bytes copied/state (deep-copy equivalent "
-            << deep_copy_bytes_per_state << " -> " << copy_reduction
-            << "x less)\n"
+            << " bytes copied/state (process=" << s.cow.process_bytes_copied
+            << " B, queue=" << s.cow.queue_bytes_copied
+            << " B; deep-copy equivalent " << deep_copy_bytes_per_state
+            << " -> " << copy_reduction << "x less)\n"
             << "    --mem " << g_mem_budget.to_string()
             << ": visited=" << m.result.dedupe_bytes
             << " B, frontier peak=" << m.result.frontier_bytes
@@ -485,9 +486,16 @@ void engine_benchmark() {
         .set("symmetry_applied", t.result.symmetry_applied)
         .set("replay_steps", t.result.replay_steps)
         .set("max_pop_replay", t.result.max_pop_replay)
+        // Work-stealing telemetry (0 on sequential runs): batch steals and
+        // the tasks they moved; the quotient is the realized steal-unit
+        // size (engine/thread_pool.h).
+        .set("steal_batches", t.result.steal_batches)
+        .set("tasks_stolen", t.result.tasks_stolen)
         .set("world_copies", t.cow.world_copies)
         .set("cow_detaches", t.cow.detaches())
         .set("cow_bytes_copied", t.cow.bytes_copied)
+        .set("cow_process_bytes_copied", t.cow.process_bytes_copied)
+        .set("cow_queue_bytes_copied", t.cow.queue_bytes_copied)
         .set("cow_bytes_per_state", per_state(t))
         // Full serializations during the run: 0 in fingerprint mode (the
         // incremental state hash replaces the per-node re-encode), one per
@@ -505,7 +513,9 @@ void engine_benchmark() {
                                       t->result.states_visited) /
                                       t->seconds
                                 : 0)
-            .set("speedup_x", t->seconds > 0 ? s.seconds / t->seconds : 0));
+            .set("speedup_x", t->seconds > 0 ? s.seconds / t->seconds : 0)
+            .set("steal_batches", t->result.steal_batches)
+            .set("tasks_stolen", t->result.tasks_stolen));
     std::cout << "    scaling: threads=" << threads << " " << t->seconds
               << " s, "
               << (t->seconds > 0
@@ -518,6 +528,16 @@ void engine_benchmark() {
   root.set("bench", "explore_exhaustive")
       .set("config", "cas_n3_f1_k1_write_read")
       .set("hardware_concurrency", cores)
+      // Alias the scaling gate keys on: tools/check_bench_regression.py
+      // reads `cores` to decide whether multi-thread speedups are
+      // meaningful on this machine (see the 1-core skip notice there).
+      .set("cores", cores)
+      // World slab-pool footprint (common/arena.h): bytes of slab pages
+      // carved for process blocks, channel slots, and oplog chunks across
+      // the whole process so far. Pages recycle through pool freelists and
+      // are never returned, so this is the high-water mark the --mem
+      // backstop in main() gates.
+      .set("slab_bytes_reserved", worldmem::reserved_bytes())
       .set("runs", benchjson::Json::array()
                        .push(run_json("sequential_fingerprint", s))
                        .push(run_json("parallel8_fingerprint", p))
@@ -576,15 +596,24 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("MEMU_MEM_BUDGET")) {
     g_mem_budget = MemBudget::parse(env);
   }
+  bool mem_explicit = std::getenv("MEMU_MEM_BUDGET") != nullptr;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--mem" && i + 1 < argc) {
       g_mem_budget = MemBudget::parse(argv[++i]);
+      mem_explicit = true;
     } else {
       std::cerr << "usage: explore_exhaustive [--mem <bytes|512M|4G>]\n";
       return 2;
     }
   }
+  // An explicitly requested budget also caps the World slab pools
+  // (process blocks, channel slots, oplog chunks — the "COW snapshot
+  // slack" the --mem split leaves unmetered): exhausting it CHECK-fails
+  // with a diagnostic naming the slab pool instead of silently growing
+  // past the cap. The 64 MiB default stays a per-run exploration budget
+  // only — this process runs unbudgeted configurations too.
+  if (mem_explicit) worldmem::set_limit(g_mem_budget.total);
   std::cout << "=== Exhaustive interleaving exploration (all FIFO "
                "schedules, canonical-state dedup) ===\n\n";
   abd_exhaustive();

@@ -18,9 +18,9 @@ void Writer::on_invoke(Context& ctx, const Invocation& inv) {
   MEMU_CHECK_MSG(phase_ == Phase::kIdle,
                  "well-formedness: write invoked while busy");
   op_id_ = ctx.next_op_id();
-  pending_value_ = inv.value;
+  pending_value_ = ValueRef(inv.value);
   ctx.log_op({OpEvent::Kind::kInvoke, ctx.self(), op_id_, OpType::kWrite,
-              pending_value_, 0});
+              *pending_value_, 0});
 
   replied_.clear();
   ++rid_;
@@ -28,7 +28,7 @@ void Writer::on_invoke(Context& ctx, const Invocation& inv) {
     // The sole writer owns the sequence: one value-dependent phase total.
     tag_ = Tag{++swmr_seq_, writer_id_};
     phase_ = Phase::kStore;
-    const auto msg = make_msg<StoreReq>(rid_, tag_, pending_value_);
+    const auto msg = make_msg<StoreReq>(rid_, tag_, *pending_value_);
     ctx.send_all(servers_, msg);
   } else {
     phase_ = Phase::kQuery;
@@ -43,13 +43,13 @@ void Writer::start_store(Context& ctx) {
   ++rid_;
   phase_ = Phase::kStore;
   tag_ = Tag{max_seen_.seq + 1, writer_id_};
-  const auto msg = make_msg<StoreReq>(rid_, tag_, pending_value_);
+  const auto msg = make_msg<StoreReq>(rid_, tag_, *pending_value_);
   ctx.send_all(servers_, msg);
 }
 
 void Writer::complete(Context& ctx) {
   phase_ = Phase::kIdle;
-  pending_value_.clear();
+  pending_value_.reset();
   replied_.clear();
   ctx.log_op({OpEvent::Kind::kResponse, ctx.self(), op_id_, OpType::kWrite,
               Value{}, 0});
@@ -72,8 +72,20 @@ void Writer::on_message(Context& ctx, NodeId from, const MessagePayload& msg) {
   MEMU_UNREACHABLE("abd.writer got unexpected message " + msg.type_name());
 }
 
+bool Writer::ignores(NodeId from, const MessagePayload& msg) const {
+  // Mirrors on_message's early returns: wrong phase, stale rid, or a
+  // duplicate from an already-counted server all fall through untouched.
+  if (const auto* qr = dynamic_cast<const QueryResp*>(&msg))
+    return phase_ != Phase::kQuery || qr->rid != rid_ ||
+           replied_.contains(from);
+  if (const auto* ack = dynamic_cast<const StoreAck*>(&msg))
+    return phase_ != Phase::kStore || ack->rid != rid_ ||
+           replied_.contains(from);
+  return false;
+}
+
 StateBits Writer::state_size() const {
-  return {static_cast<double>(pending_value_.size()) * 8.0,
+  return {static_cast<double>(pending_value_->size()) * 8.0,
           2 * Tag::kBits + 64 * 3};
 }
 
@@ -90,7 +102,7 @@ void Writer::encode_state_relabeled(const NodeRelabeling& rank,
   w.u64(swmr_seq_);
   tag_.encode(w);
   max_seen_.encode(w);
-  w.bytes(pending_value_);
+  w.bytes(*pending_value_);
   encode_relabeled_ids(replied_, rank, w);
 }
 
@@ -114,7 +126,7 @@ void Reader::on_invoke(Context& ctx, const Invocation& inv) {
   ++rid_;
   phase_ = Phase::kQuery;
   best_tag_ = Tag::initial();
-  best_value_.clear();
+  best_value_.reset();
   const auto msg = make_msg<QueryReq>(rid_, /*want_value=*/true);
   ctx.send_all(servers_, msg);
 }
@@ -123,23 +135,23 @@ void Reader::on_message(Context& ctx, NodeId from, const MessagePayload& msg) {
   if (const auto* qr = dynamic_cast<const QueryResp*>(&msg)) {
     if (phase_ != Phase::kQuery || qr->rid != rid_) return;  // stale
     if (!replied_.insert(from).second) return;
-    if (qr->tag > best_tag_ || best_value_.empty()) {
+    if (qr->tag > best_tag_ || best_value_->empty()) {
       best_tag_ = qr->tag;
-      best_value_ = qr->value;
+      best_value_ = ValueRef(qr->value);
     }
     if (replied_.size() >= quorum_) {
       if (!write_back_) {
         // Regular-only reader: return immediately after the query quorum.
         phase_ = Phase::kIdle;
         ctx.log_op({OpEvent::Kind::kResponse, ctx.self(), op_id_,
-                    OpType::kRead, best_value_, 0});
+                    OpType::kRead, *best_value_, 0});
         return;
       }
       // Phase 2: write back the freshest pair so later reads see it.
       replied_.clear();
       ++rid_;
       phase_ = Phase::kWriteBack;
-      const auto store = make_msg<StoreReq>(rid_, best_tag_, best_value_);
+      const auto store = make_msg<StoreReq>(rid_, best_tag_, *best_value_);
       ctx.send_all(servers_, store);
     }
     return;
@@ -150,15 +162,25 @@ void Reader::on_message(Context& ctx, NodeId from, const MessagePayload& msg) {
     if (replied_.size() >= quorum_) {
       phase_ = Phase::kIdle;
       ctx.log_op({OpEvent::Kind::kResponse, ctx.self(), op_id_, OpType::kRead,
-                  best_value_, 0});
+                  *best_value_, 0});
     }
     return;
   }
   MEMU_UNREACHABLE("abd.reader got unexpected message " + msg.type_name());
 }
 
+bool Reader::ignores(NodeId from, const MessagePayload& msg) const {
+  if (const auto* qr = dynamic_cast<const QueryResp*>(&msg))
+    return phase_ != Phase::kQuery || qr->rid != rid_ ||
+           replied_.contains(from);
+  if (const auto* ack = dynamic_cast<const StoreAck*>(&msg))
+    return phase_ != Phase::kWriteBack || ack->rid != rid_ ||
+           replied_.contains(from);
+  return false;
+}
+
 StateBits Reader::state_size() const {
-  return {static_cast<double>(best_value_.size()) * 8.0, Tag::kBits + 64 * 2};
+  return {static_cast<double>(best_value_->size()) * 8.0, Tag::kBits + 64 * 2};
 }
 
 Bytes Reader::encode_state() const {
@@ -172,7 +194,7 @@ void Reader::encode_state_relabeled(const NodeRelabeling& rank,
   w.u8(static_cast<std::uint8_t>(phase_));
   w.u64(rid_);
   best_tag_.encode(w);
-  w.bytes(best_value_);
+  w.bytes(*best_value_);
   encode_relabeled_ids(replied_, rank, w);
 }
 

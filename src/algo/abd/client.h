@@ -34,6 +34,14 @@ class Writer final : public CloneableProcess<Writer> {
   Bytes encode_state() const override;
   std::string name() const override { return "abd.writer"; }
 
+  // The pending value sits behind a shared slab block (set once at invoke):
+  // a COW clone shares it, so a detach materializes metadata only.
+  std::uint64_t detach_bytes() const override {
+    return static_cast<std::uint64_t>((state_size().metadata_bits + 7.0) /
+                                      8.0);
+  }
+  bool ignores(NodeId from, const MessagePayload& msg) const override;
+
   // Quorum state references servers only through the replied_ set (mapped
   // below) and counts; server identity is otherwise irrelevant to ABD.
   bool symmetry_relabelable() const override { return true; }
@@ -58,7 +66,7 @@ class Writer final : public CloneableProcess<Writer> {
   Phase phase_ = Phase::kIdle;
   std::uint64_t rid_ = 0;    // phase-scoped request id
   std::uint64_t op_id_ = 0;  // oplog operation id
-  Value pending_value_;
+  ValueRef pending_value_;   // set once per write, cleared at completion
   Tag tag_;                   // tag being written
   std::uint64_t swmr_seq_ = 0;
   Tag max_seen_;              // max tag seen during query
@@ -83,6 +91,15 @@ class Reader final : public CloneableProcess<Reader> {
   Bytes encode_state() const override;
   std::string name() const override { return "abd.reader"; }
 
+  // The best-so-far value sits behind a shared slab block (replaced
+  // wholesale when a fresher response wins): a COW clone shares it, so a
+  // detach materializes metadata only.
+  std::uint64_t detach_bytes() const override {
+    return static_cast<std::uint64_t>((state_size().metadata_bits + 7.0) /
+                                      8.0);
+  }
+  bool ignores(NodeId from, const MessagePayload& msg) const override;
+
   bool symmetry_relabelable() const override { return true; }
   void encode_state_relabeled(const NodeRelabeling& rank,
                               BufWriter& w) const override;
@@ -101,7 +118,7 @@ class Reader final : public CloneableProcess<Reader> {
   std::uint64_t rid_ = 0;
   std::uint64_t op_id_ = 0;
   Tag best_tag_;
-  Value best_value_;
+  ValueRef best_value_;
   std::set<NodeId> replied_;
 };
 

@@ -23,9 +23,9 @@ void Writer::on_invoke(Context& ctx, const Invocation& inv) {
   MEMU_CHECK_MSG(phase_ == Phase::kIdle,
                  "well-formedness: write invoked while busy");
   op_id_ = ctx.next_op_id();
-  pending_value_ = inv.value;
+  pending_value_ = ValueRef(inv.value);
   ctx.log_op({OpEvent::Kind::kInvoke, ctx.self(), op_id_, OpType::kWrite,
-              pending_value_, 0});
+              *pending_value_, 0});
 
   replied_.clear();
   ++rid_;
@@ -42,14 +42,14 @@ void Writer::start_pre_write(Context& ctx) {
   phase_ = Phase::kPreWrite;
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     ctx.send(servers_[i],
-             make_msg<PreWriteReq>(rid_, tag_, pending_shards_[i]));
+             make_msg<PreWriteReq>(rid_, tag_, (*pending_shards_)[i]));
   }
 }
 
 void Writer::complete(Context& ctx) {
   phase_ = Phase::kIdle;
-  pending_value_.clear();
-  pending_shards_.clear();
+  pending_value_.reset();
+  pending_shards_.reset();
   replied_.clear();
   ctx.log_op({OpEvent::Kind::kResponse, ctx.self(), op_id_, OpType::kWrite,
               Value{}, 0});
@@ -62,7 +62,7 @@ void Writer::on_message(Context& ctx, NodeId from, const MessagePayload& msg) {
     if (qr->tag > max_seen_) max_seen_ = qr->tag;
     if (replied_.size() >= quorum_) {
       tag_ = Tag{max_seen_.seq + 1, writer_id_};
-      pending_shards_ = codec_->encode(pending_value_);
+      pending_shards_ = ShardListRef(codec_->encode(*pending_value_));
       if (hash_phase_) {
         // Announce round: per-server shard hashes — value-dependent but
         // o(log|V|)-sized messages (NOT bulk).
@@ -72,7 +72,7 @@ void Writer::on_message(Context& ctx, NodeId from, const MessagePayload& msg) {
         for (std::size_t i = 0; i < servers_.size(); ++i) {
           ctx.send(servers_[i],
                    make_msg<HashAnnounce>(rid_, tag_,
-                                          fnv1a64(pending_shards_[i])));
+                                          fnv1a64((*pending_shards_)[i])));
         }
       } else {
         start_pre_write(ctx);
@@ -107,10 +107,29 @@ void Writer::on_message(Context& ctx, NodeId from, const MessagePayload& msg) {
   MEMU_UNREACHABLE("cas.writer got unexpected message " + msg.type_name());
 }
 
+bool Writer::ignores(NodeId from, const MessagePayload& msg) const {
+  // Mirrors on_message's early returns exactly: a response from a phase
+  // already left behind (or a duplicate from a server already counted)
+  // falls through every branch without touching state.
+  if (const auto* qr = dynamic_cast<const QueryResp*>(&msg))
+    return phase_ != Phase::kQuery || qr->rid != rid_ ||
+           replied_.contains(from);
+  if (const auto* hack = dynamic_cast<const HashAck*>(&msg))
+    return phase_ != Phase::kAnnounce || hack->rid != rid_ ||
+           replied_.contains(from);
+  if (const auto* ack = dynamic_cast<const PreWriteAck*>(&msg))
+    return phase_ != Phase::kPreWrite || ack->rid != rid_ ||
+           replied_.contains(from);
+  if (const auto* fin = dynamic_cast<const FinalizeAck*>(&msg))
+    return phase_ != Phase::kFinalize || fin->rid != rid_ ||
+           replied_.contains(from);
+  return false;  // unexpected type: deliver so the handler can report it
+}
+
 StateBits Writer::state_size() const {
-  StateBits bits{static_cast<double>(pending_value_.size()) * 8.0,
+  StateBits bits{static_cast<double>(pending_value_->size()) * 8.0,
                  2 * Tag::kBits + 64 * 3};
-  for (const auto& shard : pending_shards_)
+  for (const auto& shard : *pending_shards_)
     bits.value_bits += static_cast<double>(shard.size()) * 8.0;
   return bits;
 }
@@ -127,12 +146,12 @@ void Writer::encode_state_relabeled(const NodeRelabeling& rank,
   w.u64(rid_);
   tag_.encode(w);
   max_seen_.encode(w);
-  w.bytes(pending_value_);
+  w.bytes(*pending_value_);
   // pending_shards_ is positional (shard i -> servers_[i]); with the k=1
   // codec symmetry_relabelable() requires, every shard is identical, so
   // position order is already relabel-stable.
-  w.u64(pending_shards_.size());
-  for (const auto& shard : pending_shards_) w.bytes(shard);
+  w.u64(pending_shards_->size());
+  for (const auto& shard : *pending_shards_) w.bytes(shard);
   encode_relabeled_ids(replied_, rank, w);
 }
 
@@ -179,7 +198,7 @@ void Reader::maybe_complete(Context& ctx) {
       // Server position in servers_ is the shard index.
       for (std::size_t i = 0; i < servers_.size(); ++i) {
         if (servers_[i] == node) {
-          input.emplace_back(i, shard);
+          input.emplace_back(i, *shard);
           break;
         }
       }
@@ -222,7 +241,7 @@ void Reader::on_message(Context& ctx, NodeId from, const MessagePayload& msg) {
     if (phase_ != Phase::kReadFin || rf->rid != rid_ || rf->tag != target_)
       return;  // stale
     replied_.insert(from);
-    if (rf->has_shard) shards_[from] = rf->shard;
+    if (rf->has_shard) shards_[from] = ValueRef(rf->shard);
     if (rf->gced) ++gc_hits_;
     maybe_complete(ctx);
     return;
@@ -230,10 +249,23 @@ void Reader::on_message(Context& ctx, NodeId from, const MessagePayload& msg) {
   MEMU_UNREACHABLE("cas.reader got unexpected message " + msg.type_name());
 }
 
+bool Reader::ignores(NodeId from, const MessagePayload& msg) const {
+  if (const auto* qr = dynamic_cast<const QueryResp*>(&msg))
+    return phase_ != Phase::kQuery || qr->rid != rid_ ||
+           replied_.contains(from);
+  // A fresh ReadFinResp always mutates (unconditional replied_ insert,
+  // possible shard/gc bookkeeping, completion check), so only the staleness
+  // guards are safe to mirror here.
+  if (const auto* rf = dynamic_cast<const ReadFinResp*>(&msg))
+    return phase_ != Phase::kReadFin || rf->rid != rid_ ||
+           rf->tag != target_;
+  return false;
+}
+
 StateBits Reader::state_size() const {
   StateBits bits{0, 2 * Tag::kBits + 64 * 3};
   for (const auto& [node, shard] : shards_)
-    bits.value_bits += static_cast<double>(shard.size()) * 8.0;
+    bits.value_bits += static_cast<double>(shard->size()) * 8.0;
   return bits;
 }
 
@@ -252,7 +284,8 @@ void Reader::encode_state_relabeled(const NodeRelabeling& rank,
   w.u64(shards_.size());
   std::vector<std::pair<std::uint32_t, const Bytes*>> mapped;
   mapped.reserve(shards_.size());
-  for (const auto& [node, shard] : shards_) mapped.emplace_back(rank(node), &shard);
+  for (const auto& [node, shard] : shards_)
+    mapped.emplace_back(rank(node), &*shard);
   std::sort(mapped.begin(), mapped.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [id, shard] : mapped) {

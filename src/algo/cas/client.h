@@ -37,6 +37,15 @@ class Writer final : public CloneableProcess<Writer> {
   Bytes encode_state() const override;
   std::string name() const override { return "cas.writer"; }
 
+  // The pending value and shard list live behind shared slab blocks
+  // (SlabShared): a COW clone shares them, so a detach materializes
+  // metadata only.
+  std::uint64_t detach_bytes() const override {
+    return static_cast<std::uint64_t>((state_size().metadata_bits + 7.0) /
+                                      8.0);
+  }
+  bool ignores(NodeId from, const MessagePayload& msg) const override;
+
   // With a k=1 codec every coded element IS the value, so which server
   // gets which shard is behaviorally irrelevant and the only server ids in
   // the state are the replied_ set (mapped below). k >= 2 assigns a
@@ -69,8 +78,11 @@ class Writer final : public CloneableProcess<Writer> {
   Phase phase_ = Phase::kIdle;
   std::uint64_t rid_ = 0;
   std::uint64_t op_id_ = 0;
-  Value pending_value_;
-  std::vector<Bytes> pending_shards_;  // encoded once at end of query phase
+  // Both payloads are set-once per operation (the value at invoke, the
+  // shard list by one codec encode at end of query) and cleared at
+  // completion — shared across COW clones, never mutated in place.
+  ValueRef pending_value_;
+  ShardListRef pending_shards_;
   Tag tag_;
   Tag max_seen_;
   std::set<NodeId> replied_;
@@ -88,6 +100,15 @@ class Reader final : public CloneableProcess<Reader> {
   StateBits state_size() const override;
   Bytes encode_state() const override;
   std::string name() const override { return "cas.reader"; }
+
+  // Collected shards live behind shared slab blocks (each written once on
+  // arrival): a COW clone shares them, so a detach materializes metadata
+  // only.
+  std::uint64_t detach_bytes() const override {
+    return static_cast<std::uint64_t>((state_size().metadata_bits + 7.0) /
+                                      8.0);
+  }
+  bool ignores(NodeId from, const MessagePayload& msg) const override;
 
   // Same k=1 rationale as the writer; shards_ keys (server ids) and the
   // replied_ set are mapped in encode_state_relabeled.
@@ -115,7 +136,9 @@ class Reader final : public CloneableProcess<Reader> {
   Tag target_;
   Tag max_seen_;
   std::set<NodeId> replied_;
-  std::map<NodeId, Bytes> shards_;
+  // Each shard is written once when its ReadFinResp arrives and read once
+  // at decode — a clone shares the payload blocks.
+  std::map<NodeId, ValueRef> shards_;
   std::size_t gc_hits_ = 0;
   std::size_t restarts_ = 0;
 };

@@ -8,7 +8,8 @@ namespace memu::cas {
 
 Server::Server(Bytes initial_shard, std::optional<std::size_t> delta)
     : delta_(delta) {
-  store_[Tag::initial()] = Entry{std::move(initial_shard), /*finalized=*/true};
+  store_[Tag::initial()] =
+      Entry{ValueRef(std::move(initial_shard)), /*finalized=*/true};
 }
 
 void Server::on_message(Context& ctx, NodeId from, const MessagePayload& msg) {
@@ -33,7 +34,7 @@ void Server::on_message(Context& ctx, NodeId from, const MessagePayload& msg) {
     if (pw->tag >= gc_watermark_) {
       Entry& e = store_[pw->tag];
       if (!e.shard.has_value()) {
-        e.shard = pw->shard;
+        e.shard = ValueRef(pw->shard);
         // Serve readers that registered before the element arrived.
         if (auto it = waiting_.find(pw->tag); it != waiting_.end()) {
           for (const auto& [reader, rid] : it->second) {

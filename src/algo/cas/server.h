@@ -36,6 +36,15 @@ class Server final : public CloneableProcess<Server> {
   std::string name() const override { return "cas.server"; }
   bool is_server() const override { return true; }
 
+  // Stored coded elements live behind shared slab blocks (each written once
+  // by its pre-write): a COW clone shares them, so a detach materializes
+  // metadata only. This is the detach-cost analogue of the paper's storage
+  // split — the value bits are the part COW sharing makes free.
+  std::uint64_t detach_bytes() const override {
+    return static_cast<std::uint64_t>((state_size().metadata_bits + 7.0) /
+                                      8.0);
+  }
+
   // State embeds CLIENT ids only (waiting_ readers), which the symmetry
   // relabeling maps identically, so the default encode_state_relabeled
   // stays faithful. Interchangeability of the stored shards themselves is
@@ -53,7 +62,8 @@ class Server final : public CloneableProcess<Server> {
 
  private:
   struct Entry {
-    std::optional<Bytes> shard;
+    // Empty handle = element not yet pre-written; set exactly once.
+    ValueRef shard;
     bool finalized = false;
   };
 

@@ -87,6 +87,8 @@ class Search {
       result.spilled_nodes = spill_->nodes_spilled();
     }
     result.depth_cut = depth_cut_.load();
+    result.steal_batches = steal_batches_;
+    result.tasks_stolen = tasks_stolen_;
     result.sleep_blocked = sleep_blocked_.load();
     result.symmetry_merged = symmetry_merged_.load();
     result.symmetry_applied = symmetry_on_;
@@ -547,6 +549,8 @@ class Search {
           }
         },
         [this, &pool](std::size_t id) { return refill_parallel(id, pool); });
+    steal_batches_ = pool.steal_batches();
+    tasks_stolen_ = pool.tasks_stolen();
   }
 
   const ExploreOptions& opt_;
@@ -578,6 +582,9 @@ class Search {
   std::atomic<std::size_t> depth_cut_{0};
   std::atomic<std::size_t> sleep_blocked_{0};
   std::atomic<std::size_t> symmetry_merged_{0};
+  // Written once, after pool.run() returns (workers joined) — plain fields.
+  std::size_t steal_batches_ = 0;
+  std::size_t tasks_stolen_ = 0;
   std::atomic<std::size_t> replay_steps_{0};
   std::atomic<std::size_t> max_pop_replay_{0};
   std::atomic<bool> complete_{true};

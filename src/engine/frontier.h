@@ -163,6 +163,13 @@ struct ExploreResult {
   // Whether symmetry reduction actually engaged (requested AND the root
   // World was eligible).
   bool symmetry_applied = false;
+  // Work-stealing telemetry (parallel mode; 0 sequential): successful
+  // steal operations and the tasks they moved (engine/thread_pool.h steals
+  // in batches — tasks_stolen / steal_batches is the realized steal-unit
+  // size). Scheduling telemetry only: legitimately varies across runs,
+  // thread counts, and machines.
+  std::size_t steal_batches = 0;
+  std::size_t tasks_stolen = 0;
   // Replay work: total steps re-delivered materializing popped nodes and
   // reloaded spill batches, and the largest single-pop replay (bounded by
   // snapshot_interval — spilled batches re-promote a shared base on

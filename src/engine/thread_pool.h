@@ -7,13 +7,18 @@
 // locality — children run right after their parent), publishing new tasks
 // in one batch under its own, normally uncontended, lock. Only when its
 // deque runs dry does a worker touch shared state: it scans victims in a
-// per-worker pseudorandom order and steals the FRONT task of the first
-// non-empty deque — for tree searches that is the shallowest, largest-
-// subtree node, so one steal buys the longest private runway. Termination
-// is a single atomic in-flight counter: tasks are added to it BEFORE their
-// producer retires, so it reaches 0 only when the pool is exhausted. No
-// global queue, no condvar, no lock on the happy path except the owner's
-// own deque mutex.
+// per-worker pseudorandom order and steals a BATCH from the front of the
+// first non-empty deque — up to kMaxStealBatch tasks, at most half the
+// victim's queue. For tree searches the front tasks are the shallowest,
+// largest-subtree nodes, so one steal buys the longest private runway, and
+// taking a batch amortizes the victim-lock round trip plus the cache-line
+// handoff over K tasks instead of paying it per node (the thief re-queues
+// the surplus on its OWN deque and stays off shared state until it runs
+// dry again — which also keeps its World expansions allocating from its
+// own slab pool pages, see common/arena.h). Termination is a single atomic
+// in-flight counter: tasks are added to it BEFORE their producer retires,
+// so it reaches 0 only when the pool is exhausted. No global queue, no
+// condvar, no lock on the happy path except the owner's own deque mutex.
 //
 // Determinism contract: the pool guarantees every submitted task is
 // visited exactly once by some worker; it does NOT fix which worker or in
@@ -84,6 +89,16 @@ class WorkStealingPool {
   void stop() { stop_.store(true); }
   bool stopped() const { return stop_.load(); }
 
+  // Steal telemetry: successful steal operations and the tasks they moved.
+  // tasks_stolen / steal_batches is the realized steal-unit size — how much
+  // runway each victim-lock round trip actually bought.
+  std::uint64_t steal_batches() const {
+    return steal_batches_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tasks_stolen() const {
+    return tasks_stolen_.load(std::memory_order_relaxed);
+  }
+
   // Runs `visit(worker_id, std::move(task))` for every task until the pool
   // is exhausted (in-flight reaches 0) or stop() is called. Blocks until
   // all workers have exited. With one worker no thread is spawned — the
@@ -133,6 +148,11 @@ class WorkStealingPool {
     return true;
   }
 
+  // Steal units: how many front tasks one successful steal takes. Half the
+  // victim's queue rebalances decisively; the cap bounds how much work a
+  // thief hoards where a third starving worker cannot see it.
+  static constexpr std::size_t kMaxStealBatch = 8;
+
   bool try_steal(std::size_t id, std::uint64_t& rng, Task& out) {
     const std::size_t n = deques_.size();
     rng = mix64(rng + 0x9e3779b97f4a7c15ull);
@@ -141,10 +161,29 @@ class WorkStealingPool {
       const std::size_t victim = (start + k) % n;
       if (victim == id) continue;
       Deque& d = *deques_[victim];
-      std::lock_guard<std::mutex> lock(d.mu);
-      if (d.tasks.empty()) continue;
-      out = std::move(d.tasks.front());
-      d.tasks.erase(d.tasks.begin());
+      std::vector<Task> grabbed;
+      {
+        std::lock_guard<std::mutex> lock(d.mu);
+        if (d.tasks.empty()) continue;
+        const std::size_t take =
+            std::min(kMaxStealBatch, (d.tasks.size() + 1) / 2);
+        grabbed.reserve(take);
+        for (std::size_t i = 0; i < take; ++i)
+          grabbed.push_back(std::move(d.tasks[i]));
+        d.tasks.erase(d.tasks.begin(),
+                      d.tasks.begin() + static_cast<std::ptrdiff_t>(take));
+      }
+      steal_batches_.fetch_add(1, std::memory_order_relaxed);
+      tasks_stolen_.fetch_add(grabbed.size(), std::memory_order_relaxed);
+      out = std::move(grabbed.front());
+      if (grabbed.size() > 1) {
+        // Surplus goes to the thief's own deque, pushed so its LIFO pops
+        // run the stolen tasks front-to-back (shallowest first).
+        Deque& mine = *deques_[id];
+        std::lock_guard<std::mutex> lock(mine.mu);
+        for (std::size_t i = grabbed.size(); i-- > 1;)
+          mine.tasks.push_back(std::move(grabbed[i]));
+      }
       return true;
     }
     return false;
@@ -182,6 +221,8 @@ class WorkStealingPool {
   std::size_t seed_cursor_ = 0;
   std::atomic<std::size_t> in_flight_{0};  // queued + executing tasks
   std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> steal_batches_{0};
+  std::atomic<std::uint64_t> tasks_stolen_{0};
 };
 
 // Runs body(i) for every i in [0, n) across `threads` pool workers.

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "common/arena.h"
 #include "common/buffer.h"
 #include "common/check.h"
 #include "common/rng.h"
@@ -19,6 +21,13 @@
 namespace memu {
 
 using Value = Bytes;
+
+// Shared slab handles for value-sized payloads held in process state: a COW
+// process clone shares the payload block instead of copying it (see
+// SlabShared in common/arena.h). ShardListRef covers a writer's full coded
+// shard list, produced by one Codec::encode call and read-only after.
+using ValueRef = SlabShared<Value>;
+using ShardListRef = SlabShared<std::vector<Bytes>>;
 
 // A value of `size_bytes` bytes, unique per (writer, seq), remainder filled
 // pseudorandomly from the pair so regeneration is deterministic.

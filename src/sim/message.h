@@ -57,11 +57,12 @@ class MessagePayload {
 
 using MessagePtr = std::shared_ptr<const MessagePayload>;
 
-// An in-flight message on a directed channel.
+// An in-flight message. The channel it sits on is implied by the slot
+// holding it (ChannelTable indexes queues by (src, dst)), so a Message is
+// just the payload handle plus its cached fingerprint — 24 bytes, the unit
+// the channel message blocks are sized in.
 struct Message {
-  ChannelId chan;
   MessagePtr payload;
-  std::uint64_t send_step = 0;
   // Fingerprint of payload->encode(), computed once at enqueue
   // (ChannelTable::push) and carried with the message ever after — the
   // World's incremental state hash folds queues over these instead of

@@ -5,13 +5,16 @@
 // consume it. The log lives inside the World so that cloned executions
 // carry their own diverging histories.
 //
-// Storage is a persistent chain of small chunks (newest first). Copying an
-// OpLog (and therefore a World) is one refcount bump. Appending to a log
-// whose head chunk is shared with another copy never copies history: the
-// shared chunk is frozen in place and a fresh chunk is chained in front of
-// it, so a forked execution pays O(its own new events) no matter how long
-// the inherited history is. In-place appends happen only when the head
-// chunk is exclusively owned and below capacity.
+// Storage is a persistent chain of small chunks (newest first), each a
+// refcounted slab slot (common/arena.h) carrying its events INLINE — one
+// slab allocation per kChunkCapacity events, with no separate control
+// block or events-vector heap node. Copying an OpLog (and therefore a
+// World) is one refcount bump. Appending to a log whose head chunk is
+// shared with another copy never copies history: the shared chunk is
+// frozen in place and a fresh chunk is chained in front of it, so a forked
+// execution pays O(its own new events) no matter how long the inherited
+// history is. In-place appends happen only when the head chunk is
+// exclusively owned and below capacity.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/buffer.h"
 #include "common/check.h"
 #include "common/hash.h"
@@ -58,20 +62,19 @@ class OpLog {
     // carries precedence).
     content_hash_ ^= statehash::component(statehash::kOplogSeed, size_,
                                           event_fp(e));
-    if (head_ == nullptr || head_.use_count() > 1 ||
-        head_->events.size() >= kChunkCapacity) {
-      if (head_ != nullptr && head_.use_count() > 1 &&
-          head_->events.size() < kChunkCapacity) {
+    if (!head_ || head_.use_count() > 1 || head_->count >= kChunkCapacity) {
+      if (head_ && head_.use_count() > 1 && head_->count < kChunkCapacity) {
         // Sharing forced the chain; no bytes are copied — the shared chunk
         // is simply frozen where it is.
         cowstats::note_oplog_detach(0);
       }
-      auto c = std::make_shared<Chunk>();
-      c->prev = head_;
+      SlabRef<Chunk> c = slab_make<Chunk>();
+      c->prev = std::move(head_);
       c->base = size_;
       head_ = std::move(c);
     }
-    head_->events.push_back(std::move(e));
+    new (head_->events() + head_->count) OpEvent(std::move(e));
+    ++head_->count;
     ++size_;
   }
 
@@ -100,12 +103,12 @@ class OpLog {
     MEMU_CHECK_MSG(i < size_, "oplog index " << i << " out of range");
     const Chunk* c = head_.get();
     while (c->base > i) c = c->prev.get();
-    return c->events[i - c->base];
+    return c->events()[i - c->base];
   }
 
   const OpEvent& back() const {
     MEMU_CHECK_MSG(size_ > 0, "back() on empty oplog");
-    return head_->events.back();
+    return head_->events()[head_->count - 1];
   }
 
   // In-order visit of every event: one O(#chunks) pointer collection, then
@@ -117,7 +120,7 @@ class OpLog {
     for (const Chunk* c = head_.get(); c != nullptr; c = c->prev.get())
       chain.push_back(c);
     for (auto it = chain.rbegin(); it != chain.rend(); ++it)
-      for (const OpEvent& e : (*it)->events) fn(e);
+      for (std::uint32_t i = 0; i < (*it)->count; ++i) fn((*it)->events()[i]);
   }
 
   // Flattened snapshot of the whole log. O(n) copy — meant for checkers
@@ -145,11 +148,10 @@ class OpLog {
   std::size_t responses_since(std::size_t from) const {
     std::size_t n = 0;
     for (const Chunk* c = head_.get();
-         c != nullptr && c->base + c->events.size() > from;
-         c = c->prev.get()) {
+         c != nullptr && c->base + c->count > from; c = c->prev.get()) {
       const std::size_t lo = from > c->base ? from - c->base : 0;
-      for (std::size_t i = lo; i < c->events.size(); ++i)
-        if (c->events[i].kind == OpEvent::Kind::kResponse) ++n;
+      for (std::size_t i = lo; i < c->count; ++i)
+        if (c->events()[i].kind == OpEvent::Kind::kResponse) ++n;
     }
     return n;
   }
@@ -169,8 +171,8 @@ class OpLog {
   // one response exists per op id, so direction does not change the result.
   const OpEvent* find_response(std::uint64_t op_id) const {
     for (const Chunk* c = head_.get(); c != nullptr; c = c->prev.get()) {
-      for (std::size_t i = c->events.size(); i-- > 0;) {
-        const OpEvent& e = c->events[i];
+      for (std::uint32_t i = c->count; i-- > 0;) {
+        const OpEvent& e = c->events()[i];
         if (e.op_id == op_id && e.kind == OpEvent::Kind::kResponse)
           return &e;
       }
@@ -178,18 +180,29 @@ class OpLog {
     return nullptr;
   }
 
-  // A chunk is mutated only while exclusively owned (use_count() == 1);
-  // once any copy or a newer chunk references it, it is immutable, so the
-  // chain behaves as a persistent data structure.
-  struct Chunk {
-    std::shared_ptr<const Chunk> prev;  // older events, immutable
-    std::size_t base = 0;               // number of events before this chunk
-    std::vector<OpEvent> events;
-  };
-
   static constexpr std::size_t kChunkCapacity = 8;
 
-  std::shared_ptr<Chunk> head_;
+  // A chunk is mutated only while exclusively owned (use_count() == 1);
+  // once any copy or a newer chunk references it, it is immutable, so the
+  // chain behaves as a persistent data structure. Events sit inline:
+  // [0, count) are constructed, destroyed with the chunk when its last
+  // reference drops.
+  struct Chunk {
+    ~Chunk() {
+      for (std::uint32_t i = 0; i < count; ++i) events()[i].~OpEvent();
+    }
+    OpEvent* events() { return reinterpret_cast<OpEvent*>(storage); }
+    const OpEvent* events() const {
+      return reinterpret_cast<const OpEvent*>(storage);
+    }
+
+    SlabRef<Chunk> prev;      // older events, immutable
+    std::size_t base = 0;     // number of events before this chunk
+    std::uint32_t count = 0;  // constructed events in `storage`
+    alignas(OpEvent) unsigned char storage[kChunkCapacity * sizeof(OpEvent)];
+  };
+
+  SlabRef<Chunk> head_;
   std::size_t size_ = 0;
   std::uint64_t content_hash_ = 0;  // incremental; see content_hash()
 };

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -117,10 +118,42 @@ class Process {
   // Deep copy; must copy all mutable state.
   virtual std::unique_ptr<Process> clone() const = 0;
 
+  // Slab-clone support (common/arena.h): the World keeps processes in
+  // refcounted slab slots rather than shared_ptr blocks, so a COW detach
+  // placement-copies the concrete object into a pool slot of exactly this
+  // many bytes. Both are implemented once by CloneableProcess; like
+  // clone(), the copy constructor they invoke must copy ALL mutable state.
+  virtual std::size_t clone_footprint() const = 0;
+  virtual Process* clone_into(void* mem) const = 0;
+
   // Current storage footprint of this process's state, split into value and
   // metadata bits. Only meaningful for servers (the paper's storage cost is
   // over servers), but defined for all processes.
   virtual StateBits state_size() const = 0;
+
+  // Logical bytes a COW detach of this process materializes — what
+  // cowstats::note_process_detach is metered with. The default bills the
+  // full logical state, matching a clone that copies everything. Processes
+  // that keep value payloads behind shared slab blocks (SlabShared) override
+  // this to bill metadata only: their clone bumps a refcount per payload
+  // instead of copying the bytes.
+  virtual std::uint64_t detach_bytes() const {
+    return static_cast<std::uint64_t>((state_size().total() + 7.0) / 8.0);
+  }
+
+  // True when delivering `msg` from `from` RIGHT NOW would be a complete
+  // no-op: on_message would return without mutating state, sending, or
+  // logging. The World then skips the COW detach of the recipient — a stale
+  // quorum response (old rid, duplicate ack) otherwise forces a full clone
+  // just so the handler can early-return — and skips the dirty-mark that
+  // would re-fingerprint the process at the next state_hash(). An override
+  // MUST mirror its handler's early-return conditions exactly; the resulting
+  // state is byte-identical either way, so the differential explore counters
+  // pin any drift. When unsure, return false (the delivery just pays the
+  // clone, as before).
+  virtual bool ignores(NodeId /*from*/, const MessagePayload& /*msg*/) const {
+    return false;
+  }
 
   // Canonical encoding of the state; equal states encode equally. Used by
   // the adversary harness to compare server-state vectors across executions,
@@ -177,12 +210,20 @@ class Process {
   NodeId id_;
 };
 
-// CRTP helper implementing clone() by copy construction.
+// CRTP helper implementing clone()/clone_into() by copy construction.
 template <class Derived>
 class CloneableProcess : public Process {
  public:
   std::unique_ptr<Process> clone() const override {
     return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+
+  std::size_t clone_footprint() const override { return sizeof(Derived); }
+
+  Process* clone_into(void* mem) const override {
+    static_assert(alignof(Derived) <= alignof(std::max_align_t),
+                  "slab slots are max_align_t-aligned");
+    return new (mem) Derived(static_cast<const Derived&>(*this));
   }
 };
 

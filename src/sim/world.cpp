@@ -50,11 +50,22 @@ World& World::operator=(const World& other) {
   return *this;
 }
 
+// Placement-copies `p` into a slot of this thread's slab pool. Process
+// hierarchies are single-inheritance with Process first, so the base-class
+// pointer clone_into returns is the payload address SlabRef frees through;
+// the check catches any future layout that breaks that.
+static SlabRef<Process> clone_to_slab(const Process& p) {
+  void* mem = local_pool().alloc(p.clone_footprint());
+  Process* obj = p.clone_into(mem);
+  MEMU_CHECK(static_cast<void*>(obj) == mem);
+  return SlabRef<Process>::adopt(obj);
+}
+
 NodeId World::add_process(std::unique_ptr<Process> p) {
   MEMU_CHECK(p != nullptr);
   const NodeId id{static_cast<std::uint32_t>(processes_.size())};
   p->set_id(id);
-  processes_.push_back(std::move(p));
+  processes_.push_back(clone_to_slab(*p));
   channels_.resize_nodes(processes_.size());
   // The new process's hash component is settled lazily, like any mutation.
   proc_comp_.push_back(0);
@@ -65,15 +76,14 @@ NodeId World::add_process(std::unique_ptr<Process> p) {
 
 Process& World::mutable_process(NodeId id) {
   MEMU_CHECK_MSG(id.value < processes_.size(), "unknown process " << id);
-  std::shared_ptr<Process>& p = processes_[id.value];
+  SlabRef<Process>& p = processes_[id.value];
   // use_count() == 1 means this World is the sole owner: other Worlds can
   // only reach the block through their own process vectors, so no thread
-  // can re-acquire it concurrently (the standard shared_ptr COW argument).
+  // can re-acquire it concurrently (the standard COW exclusivity argument;
+  // the slab refcount's acquire load carries the same guarantee).
   if (p.use_count() > 1) {
-    const StateBits s = p->state_size();
-    cowstats::note_process_detach(
-        static_cast<std::uint64_t>((s.total() + 7.0) / 8.0));
-    p = p->clone();
+    cowstats::note_process_detach(p->detach_bytes());
+    p = clone_to_slab(*p);
   }
   // Conservatively assume the caller mutates: the hash component is
   // re-encoded at the next state_hash() call (O(this process), not
@@ -107,7 +117,7 @@ void World::enqueue(ChannelId chan, MessagePtr payload) {
   // adversary script; enqueuing checks only validity of endpoints.
   MEMU_CHECK(chan.src.value < processes_.size());
   MEMU_CHECK(chan.dst.value < processes_.size());
-  channels_.push(chan, Message{chan, std::move(payload), step_count_});
+  channels_.push(chan, Message{std::move(payload), 0});
 }
 
 std::size_t World::first_allowed_index(
@@ -218,6 +228,12 @@ void World::deliver(ChannelId chan, std::size_t index) {
                    msg.payload->size_bits(), dropped});
   }
   if (dropped) return;  // dropped at a crashed node
+
+  // A delivery the recipient provably ignores (stale quorum response,
+  // duplicate ack — see Process::ignores) leaves a byte-identical state
+  // without running the handler, so skip the COW detach and the dirty-mark
+  // a mutable_process() call would charge for nothing.
+  if (processes_[chan.dst.value]->ignores(chan.src, *msg.payload)) return;
 
   Context ctx(*this, chan.dst);
   mutable_process(chan.dst).on_message(ctx, chan.src, *msg.payload);

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/ids.h"
 #include "common/nodeset.h"
@@ -49,6 +50,9 @@ class World {
   // --- topology -----------------------------------------------------------
 
   // Adds a process and returns its id. Ids are assigned densely from 0.
+  // The World stores a slab-allocated COPY of `p` (clone_into) and the
+  // argument dies here — callers that need a handle to the live process
+  // must re-fetch it via process(id) after adding.
   NodeId add_process(std::unique_ptr<Process> p);
 
   std::size_t process_count() const { return processes_.size(); }
@@ -332,8 +336,11 @@ class World {
   Process& mutable_process(NodeId id);
 
   // Processes are shared between World copies until one side mutates
-  // (copy-on-write via mutable_process).
-  std::vector<std::shared_ptr<Process>> processes_;
+  // (copy-on-write via mutable_process). Each block lives in a refcounted
+  // slab slot (common/arena.h) sized to the concrete process, so a fork is
+  // a header refcount bump and a detach is one pool allocation — no
+  // shared_ptr control blocks, no per-clone malloc.
+  std::vector<SlabRef<Process>> processes_;
   ChannelTable channels_;   // dense (src, dst)-indexed message queues
   NodeSet crashed_;         // flat bitsets: hot-path membership + cheap copy
   NodeSet frozen_;

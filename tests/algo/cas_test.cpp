@@ -251,9 +251,11 @@ TEST(CasServer, QueryReturnsHighestFinalizedTag) {
   const NodeId server =
       w.add_process(std::make_unique<Server>(codec->encode(v0)[0],
                                              std::nullopt));
-  auto probe_ptr = std::make_unique<memu::testing::Probe>();
-  auto* probe = probe_ptr.get();
-  const NodeId client = w.add_process(std::move(probe_ptr));
+  const NodeId client =
+      w.add_process(std::make_unique<memu::testing::Probe>());
+  // add_process stores a slab copy of its argument, so grab the live
+  // in-world probe (never detached here: this World is never forked).
+  auto* probe = &dynamic_cast<memu::testing::Probe&>(w.process(client));
 
   Tag seen;
   probe->set_callback([&](NodeId, const MessagePayload& m) {
@@ -286,9 +288,11 @@ TEST(CasServer, GcedTagAnsweredWithGcFlag) {
   const Value v0 = enum_value(0, 16);
   const NodeId server = w.add_process(
       std::make_unique<Server>(codec->encode(v0)[0], std::size_t{0}));
-  auto probe_ptr = std::make_unique<memu::testing::Probe>();
-  auto* probe = probe_ptr.get();
-  const NodeId client = w.add_process(std::move(probe_ptr));
+  const NodeId client =
+      w.add_process(std::make_unique<memu::testing::Probe>());
+  // add_process stores a slab copy of its argument, so grab the live
+  // in-world probe (never detached here: this World is never forked).
+  auto* probe = &dynamic_cast<memu::testing::Probe&>(w.process(client));
 
   bool got_gc = false;
   probe->set_callback([&](NodeId, const MessagePayload& m) {

@@ -36,6 +36,24 @@ failures = []
 # nodes on spaces this small means node compression stopped working.
 FRONTIER_ABS_FLOOR_BYTES = 1 << 20
 
+# Multi-core scaling contract: on a runner with at least SCALING_MIN_CORES
+# cores, the work-stealing pool must deliver SCALING_MIN_SPEEDUP_X the
+# serial throughput at SCALING_GATE_THREADS workers. The gate keys on the
+# `cores` field the bench records about the machine it RAN on — a 1-core
+# runner legitimately reports ~1x, so the gate announces itself skipped
+# loudly instead of failing (or silently passing a meaningless number).
+SCALING_MIN_CORES = 4
+SCALING_GATE_THREADS = 4
+SCALING_MIN_SPEEDUP_X = 3.0
+
+# Absolute ceiling on the tracked sequential CAS exploration's COW traffic:
+# the slab layout (shared value payloads + ignored-delivery skip) landed it
+# at ~151 B/state, and the relative tolerance alone would let it creep back
+# up baseline-by-baseline. Machine-independent: it counts logical bytes
+# materialized per visited state, not wall-clock.
+COW_BYTES_PER_STATE_ABS_MAX = 200.0
+COW_ABS_GATED_MODE = "sequential_fingerprint"
+
 
 def fail(msg):
     failures.append(msg)
@@ -66,6 +84,31 @@ def check_upper_bound(name, current, baseline, tolerance):
         ok(line)
 
 
+def check_scaling_speedup(cur, what):
+    """Hard multi-core gate (see SCALING_* above); `what` names the bench."""
+    cores = cur.get("cores", cur.get("hardware_concurrency", 0))
+    entry = next(
+        (s for s in cur.get("scaling", [])
+         if s.get("threads") == SCALING_GATE_THREADS), None)
+    if entry is None or "speedup_x" not in entry:
+        ok(f"{what}: no threads={SCALING_GATE_THREADS} speedup recorded, "
+           "scaling not gated")
+        return
+    speedup = entry["speedup_x"]
+    if cores < SCALING_MIN_CORES:
+        ok(f"{what}: {cores}-core machine — scaling not gated "
+           f"(speedup@{SCALING_GATE_THREADS} threads was {speedup:.2f}x; "
+           f"the >= {SCALING_MIN_SPEEDUP_X}x contract needs a "
+           f">= {SCALING_MIN_CORES}-core runner)")
+        return
+    line = (f"{what}: speedup@{SCALING_GATE_THREADS} threads {speedup:.2f}x "
+            f"on {cores} cores (floor {SCALING_MIN_SPEEDUP_X}x)")
+    if speedup < SCALING_MIN_SPEEDUP_X:
+        fail(line)
+    else:
+        ok(line)
+
+
 def check_explore(cur, base, tol):
     base_runs = {r["mode"]: r for r in base["runs"]}
     for run in cur["runs"]:
@@ -87,6 +130,14 @@ def check_explore(cur, base, tol):
         check_upper_bound(
             f"{mode} cow_bytes_per_state", run["cow_bytes_per_state"],
             b["cow_bytes_per_state"], tol)
+        if mode == COW_ABS_GATED_MODE:
+            per_state = run["cow_bytes_per_state"]
+            line = (f"{mode} cow_bytes_per_state {per_state:.6g} vs absolute "
+                    f"ceiling {COW_BYTES_PER_STATE_ABS_MAX:g}")
+            if per_state > COW_BYTES_PER_STATE_ABS_MAX:
+                fail(line)
+            else:
+                ok(line)
         # Memory trajectory: exact allocated visited-set bytes (and, where
         # recorded, the peak in-memory frontier bytes) must not creep past
         # the baseline. Both are deterministic accounting in sequential
@@ -167,6 +218,7 @@ def check_explore(cur, base, tol):
         check_lower_bound(
             f"scaling threads={s['threads']} states_per_sec",
             s["states_per_sec"], b["states_per_sec"], tol)
+    check_scaling_speedup(cur, "explore")
     check_lower_bound(
         "cow_copy_reduction_x", cur["cow_copy_reduction_x"],
         base["cow_copy_reduction_x"], tol)
@@ -259,6 +311,7 @@ def check_fuzz(cur, base, tol):
         check_lower_bound(
             f"scaling threads={s['threads']} walks_per_sec",
             s["walks_per_sec"], b["walks_per_sec"], tol)
+    check_scaling_speedup(cur, "fuzz")
     # tests_run is deterministic in the input trace, so it must match the
     # baseline exactly when the pinned counterexample is unchanged.
     cur_tests = cur.get("minimize", {}).get("tests_run")

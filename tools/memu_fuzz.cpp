@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "engine/thread_pool.h"
 #include "fuzz/campaign.h"
 #include "fuzz/minimizer.h"
@@ -155,7 +156,13 @@ int cmd_run(const Args& a) {
     plan.mix = mix;
     plan.minimize = !a.has("no-minimize");
     plan.threads = a.num("threads", engine::default_worker_count());
-    if (a.has("mem")) plan.mem = MemBudget::parse(a.flags.at("mem"));
+    if (a.has("mem")) {
+      plan.mem = MemBudget::parse(a.flags.at("mem"));
+      // An explicit budget also caps the World slab pages (process blocks,
+      // channel slots, oplog chunks) so a runaway walk fails in --mem terms
+      // instead of OOMing.
+      worldmem::set_limit(plan.mem.total);
+    }
 
     const auto t0 = std::chrono::steady_clock::now();
     const CampaignSummary summary = run_campaign(spec, plan);
@@ -228,6 +235,7 @@ int cmd_shrink(const Args& a) {
                             << MemBudget{threads * kWalkEnvelopeBytes}
                                    .to_string()
                             << " or fewer --threads");
+    worldmem::set_limit(mem.total);  // cap the World slab pages too
   }
   const auto t0 = std::chrono::steady_clock::now();
   const MinimizeResult m = minimize(trace, threads);
