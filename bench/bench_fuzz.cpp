@@ -22,6 +22,7 @@
 
 #include "bench_json.h"
 #include "common/arena.h"
+#include "common/env.h"
 #include "fuzz/campaign.h"
 #include "fuzz/minimizer.h"
 #include "fuzz/plan.h"
@@ -37,11 +38,7 @@ using namespace memu::fuzz;
 // campaign so a Release bench-smoke job finishes in seconds. Unset (the
 // default) runs the size the committed baseline records.
 std::size_t env_walks(std::size_t def) {
-  if (const char* env = std::getenv("MEMU_FUZZ_WALKS")) {
-    const std::size_t v = std::strtoull(env, nullptr, 10);
-    if (v > 0) return v;
-  }
-  return def;
+  return env::u64_or(env::kFuzzWalks, def);
 }
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {

@@ -1,4 +1,5 @@
-// Section 2.2 comparison: the new lower bounds (Theorems 4.1, 5.1) are
+// Section 2.2 comparison — a thin console wrapper over the sweep engine's
+// evaluate_bounds(): the new lower bounds (Theorems 4.1, 5.1) are
 // approximately TWICE the previously known Singleton-type bound N/(N-f),
 // with the ratio approaching 2 as N grows at fixed f. Also prints the
 // Section 7 trichotomy for candidate storage costs g(nu, N, f).
@@ -6,23 +7,28 @@
 
 #include "bounds/bounds.h"
 #include "common/table.h"
+#include "sweep/sweep.h"
 
 int main() {
   using namespace memu;
   using namespace memu::bounds;
+  using sweep::Cell;
+  using sweep::evaluate_bounds;
 
   std::cout << "=== Section 2.2: ratio of new bounds to the Singleton bound "
                "(f fixed = 10, N sweeps) ===\n\n";
   Table t({"N", "ThmB.1", "Thm4.1", "Thm5.1", "4.1/B.1", "5.1/B.1"}, 12);
   for (const std::size_t n : {21u, 31u, 51u, 101u, 201u, 501u, 1001u, 10001u}) {
-    const std::size_t f = 10;
+    // The normalized Thm B.1/4.1/5.1 columns depend on (N, f) only; any
+    // nu/logV picks the same row values.
+    const sweep::BoundsRow r = evaluate_bounds(Cell{n, 10, 1, 64});
     t.row()
         .cell(n)
-        .cell(singleton_normalized(n, f))
-        .cell(no_gossip_normalized(n, f))
-        .cell(universal_normalized(n, f))
-        .cell(no_gossip_normalized(n, f) / singleton_normalized(n, f))
-        .cell(universal_normalized(n, f) / singleton_normalized(n, f));
+        .cell(r.thm_b1)
+        .cell(r.thm_41)
+        .cell(r.thm_51)
+        .cell(r.thm_41 / r.thm_b1)
+        .cell(r.thm_51 / r.thm_b1);
   }
   t.print();
   std::cout << "\n-> both ratios approach 2: regularity costs twice the "
@@ -33,12 +39,9 @@ int main() {
   Table t2({"N", "f", "Thm5.1", "ABD(f+1)", "Thm6.5(nu=f+1)"}, 14);
   for (const std::size_t n : {11u, 21u, 41u, 81u, 161u}) {
     const std::size_t f = n / 2 - 1;
-    t2.row()
-        .cell(n)
-        .cell(f)
-        .cell(universal_normalized(n, f))
-        .cell(abd_ideal_normalized(f))
-        .cell(restricted_normalized(n, f, f + 1));
+    // nu = f + 1 saturates nu*: Thm 6.5's plateau against ABD's f + 1.
+    const sweep::BoundsRow r = evaluate_bounds(Cell{n, f, f + 1, 64});
+    t2.row().cell(n).cell(f).cell(r.thm_51).cell(r.abd).cell(r.thm_65);
   }
   t2.print();
   std::cout << "\n-> motivates Question 2: can o(f) storage be had with "
@@ -46,7 +49,6 @@ int main() {
                "write protocols.\n";
 
   std::cout << "\n=== Section 7 trichotomy for N=21, f=10, nu=8 ===\n\n";
-  Table t3({"candidate_g", "feasible?", "constraint"}, 0);
   struct Case {
     double g;
     const char* label;
@@ -73,6 +75,5 @@ int main() {
     }
     std::cout << "  g = " << c.g << ": " << verdict << " — " << why << '\n';
   }
-  (void)t3;
   return 0;
 }

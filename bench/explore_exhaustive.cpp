@@ -16,6 +16,8 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -24,6 +26,7 @@
 #include "algo/cas/system.h"
 #include "bench_json.h"
 #include "common/arena.h"
+#include "common/env.h"
 #include "common/table.h"
 #include "consistency/checker.h"
 #include "sim/cow_stats.h"
@@ -39,11 +42,7 @@ constexpr std::size_t kValueBytes = 12;
 // expensive explorations so a Release bench-smoke job finishes in seconds.
 // Unset (the default) runs the full spaces the committed baselines record.
 std::size_t env_max_states(std::size_t def) {
-  if (const char* env = std::getenv("MEMU_EXPLORE_MAX_STATES")) {
-    const std::size_t v = std::strtoull(env, nullptr, 10);
-    if (v > 0) return v;
-  }
-  return def;
+  return env::u64_or(env::kExploreMaxStates, def);
 }
 
 // Budget for the --mem engine run: `--mem <bytes|512M|4G>` on the command
@@ -591,22 +590,21 @@ void engine_benchmark() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Budget precedence: the explicit flag beats the environment beats the
-  // 64 MiB default.
-  if (const char* env = std::getenv("MEMU_MEM_BUDGET")) {
-    g_mem_budget = MemBudget::parse(env);
-  }
-  bool mem_explicit = std::getenv("MEMU_MEM_BUDGET") != nullptr;
+  // Budget precedence (common/env.h flag-wins rule): the explicit flag
+  // beats MEMU_MEM_BUDGET beats the 64 MiB default.
+  std::optional<std::string> mem_flag;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--mem" && i + 1 < argc) {
-      g_mem_budget = MemBudget::parse(argv[++i]);
-      mem_explicit = true;
+      mem_flag = argv[++i];
     } else {
       std::cerr << "usage: explore_exhaustive [--mem <bytes|512M|4G>]\n";
       return 2;
     }
   }
+  g_mem_budget = env::mem_budget_or(mem_flag, g_mem_budget);
+  const bool mem_explicit =
+      mem_flag.has_value() || env::raw(env::kMemBudget).has_value();
   // An explicitly requested budget also caps the World slab pools
   // (process blocks, channel slots, oplog chunks — the "COW snapshot
   // slack" the --mem split leaves unmetered): exhausting it CHECK-fails

@@ -1,0 +1,22 @@
+# Figure 1 — Information-Theoretic Lower Bounds on the Storage Cost of
+# Shared Memory Emulation (PODC 2016), N = 21, f = 10.
+# Data: fig1_data.csv (regenerate both files with: memu_sweep --fig1)
+# Render: gnuplot fig1_plot.gp   (writes fig1.svg)
+set datafile separator ','
+set terminal svg size 900,600 dynamic background rgb 'white'
+set output 'fig1.svg'
+set title 'Storage cost bounds at N = 21, f = 10 (normalized by log_2|V|)'
+set xlabel 'number of active writes {/Symbol n}'
+set ylabel 'total storage / log_2|V|'
+set key left top
+set grid
+set xrange [1:16]
+set yrange [0:14]
+plot 'fig1_data.csv' skip 1 using 1:2 with lines lw 2 title 'Thm B.1: N/(N-f)', \
+     '' skip 1 using 1:3 with lines lw 2 title 'Thm 4.1: 2N/(N-f+1)', \
+     '' skip 1 using 1:4 with lines lw 2 title 'Thm 5.1: 2N/(N-f+2)', \
+     '' skip 1 using 1:5 with lines lw 2 title 'Thm 6.5: {/Symbol n}*N/(N-f+{/Symbol n}*-1)', \
+     '' skip 1 using 1:6 with lines lw 2 dashtype 2 title 'ABD (replication): f+1', \
+     '' skip 1 using 1:7 with lines lw 2 dashtype 2 title 'erasure: {/Symbol n}N/(N-f)', \
+     '' skip 1 using 1:8 with points pt 7 ps 0.6 title 'ABD measured (parked)', \
+     '' skip 1 using 1:11 with points pt 5 ps 0.6 title 'LDR measured (steady)'

@@ -1,6 +1,9 @@
-// Figure 1, measured companion: instead of quoting the analytic upper
-// bounds, run the real algorithms in the simulator with nu parked (active)
-// writes and measure peak total storage.
+// Figure 1, measured companion — a thin console wrapper over the sweep
+// engine's measurement helpers (src/sweep/measure.h): instead of quoting
+// the analytic upper bounds, run the real algorithms in the simulator with
+// nu parked (active) writes and measure peak total storage. The same
+// parked_*/steady_* calls back `memu_sweep --measure`, so the bench and the
+// sweep CSV cannot disagree.
 //
 // Shape claims to reproduce:
 //   * ABD (replication) is FLAT in nu at N * B value bits (the idealized
@@ -15,17 +18,14 @@
 // erasure coding useless — the f ~ N/2 regime), and N=21, f=5 (k = 11,
 // where erasure coding wins for small nu).
 #include <iostream>
+#include <optional>
+#include <utility>
+#include <vector>
 
-#include "algo/abd/system.h"
-#include "algo/cas/system.h"
-#include "algo/ldr/ldr.h"
-#include "algo/strip/strip.h"
 #include "bench_json.h"
 #include "bounds/bounds.h"
 #include "common/table.h"
-#include "sim/scheduler.h"
-#include "workload/driver.h"
-#include "workload/park.h"
+#include "sweep/measure.h"
 
 namespace {
 
@@ -34,33 +34,9 @@ memu::benchjson::Json g_rows = memu::benchjson::Json::array();
 constexpr std::size_t kValueSize = 120;  // bytes; B = 960 bits
 constexpr double kB = 8.0 * kValueSize;
 
-double measured_abd(std::size_t n, std::size_t f, std::size_t nu) {
-  memu::abd::Options opt;
-  opt.n_servers = n;
-  opt.f = f;
-  opt.n_writers = nu;
-  opt.value_size = kValueSize;
-  memu::abd::System sys = memu::abd::make_system(opt);
-  return memu::workload::park_active_writes(sys, nu, kValueSize)
-      .normalized_peak_total(kB);
-}
-
-double measured_cas(std::size_t n, std::size_t f, std::size_t k,
-                    std::size_t nu, std::optional<std::size_t> delta) {
-  memu::cas::Options opt;
-  opt.n_servers = n;
-  opt.f = f;
-  opt.k = k;
-  opt.n_writers = nu;
-  opt.value_size = kValueSize;
-  opt.delta = delta;
-  memu::cas::System sys = memu::cas::make_system(opt);
-  return memu::workload::park_active_writes(sys, nu, kValueSize)
-      .normalized_peak_total(kB);
-}
-
 void run_config(std::size_t n, std::size_t f, std::size_t nu_max) {
   using namespace memu::bounds;
+  using namespace memu::sweep;
   const std::size_t k = n - 2 * f;
   std::cout << "--- N=" << n << " f=" << f << " (CAS code dimension k=" << k
             << ", shard = B/" << k << ") ---\n";
@@ -69,9 +45,10 @@ void run_config(std::size_t n, std::size_t f, std::size_t nu_max) {
                 12);
   const Params p{n, f, kB};
   for (std::size_t nu = 1; nu <= nu_max; ++nu) {
-    const double abd_meas = measured_abd(n, f, nu);
-    const double cas_meas = measured_cas(n, f, k, nu, std::nullopt);
-    const double casgc_meas = measured_cas(n, f, k, nu, std::size_t{nu});
+    const double abd_meas = parked_abd(n, f, nu, kValueSize);
+    const double cas_meas = parked_cas(n, f, k, nu, std::nullopt, kValueSize);
+    const double casgc_meas =
+        parked_cas(n, f, k, nu, std::size_t{nu}, kValueSize);
     t.row()
         .cell(nu)
         .cell(abd_meas)
@@ -93,57 +70,6 @@ void run_config(std::size_t n, std::size_t f, std::size_t nu_max) {
   }
   t.print();
   std::cout << '\n';
-}
-
-// Steady-state (quiescent) value storage of an N-server deployment after
-// `writes` sequential writes, normalized by B.
-double steady_state_ldr(std::size_t n, std::size_t f, std::size_t writes) {
-  memu::ldr::Options opt;
-  opt.n_servers = n;
-  opt.f = f;
-  opt.value_size = kValueSize;
-  memu::ldr::System sys = memu::ldr::make_system(opt);
-  memu::workload::Options wopt;
-  wopt.writes_per_writer = writes;
-  wopt.reads_per_reader = 0;
-  wopt.value_size = kValueSize;
-  memu::workload::run(sys.world, sys.writers, sys.readers, wopt);
-  memu::Scheduler sched;
-  sched.drain(sys.world, 1'000'000);
-  return sys.world.total_server_storage().value_bits / kB;
-}
-
-double steady_state_abd(std::size_t n, std::size_t f, std::size_t writes) {
-  memu::abd::Options opt;
-  opt.n_servers = n;
-  opt.f = f;
-  opt.value_size = kValueSize;
-  memu::abd::System sys = memu::abd::make_system(opt);
-  memu::workload::Options wopt;
-  wopt.writes_per_writer = writes;
-  wopt.reads_per_reader = 0;
-  wopt.value_size = kValueSize;
-  memu::workload::run(sys.world, sys.writers, sys.readers, wopt);
-  memu::Scheduler sched;
-  sched.drain(sys.world, 1'000'000);
-  return sys.world.total_server_storage().value_bits / kB;
-}
-
-double steady_state_strip(std::size_t n, std::size_t f, std::size_t writes) {
-  memu::strip::Options opt;
-  opt.n_servers = n;
-  opt.f = f;
-  opt.value_size = kValueSize;
-  opt.delta = 0;  // keep only the newest committed version
-  memu::strip::System sys = memu::strip::make_system(opt);
-  memu::workload::Options wopt;
-  wopt.writes_per_writer = writes;
-  wopt.reads_per_reader = 0;
-  wopt.value_size = kValueSize;
-  memu::workload::run(sys.world, sys.writers, sys.readers, wopt);
-  memu::Scheduler sched;
-  sched.drain(sys.world, 1'000'000);
-  return sys.world.total_server_storage().value_bits / kB;
 }
 
 }  // namespace
@@ -185,10 +111,10 @@ int main() {
     t.row()
         .cell(n)
         .cell(f)
-        .cell(steady_state_abd(n, f, 3))
-        .cell(steady_state_ldr(n, f, 3))
+        .cell(memu::sweep::steady_abd(n, f, 3, kValueSize))
+        .cell(memu::sweep::steady_ldr(n, f, 3, kValueSize))
         .cell(memu::bounds::abd_ideal_normalized(f))
-        .cell(steady_state_strip(n, f, 3))
+        .cell(memu::sweep::steady_strip(n, f, 3, kValueSize))
         .cell(memu::bounds::singleton_normalized(n, f));
   }
   t.print();

@@ -1,4 +1,6 @@
-// Figure 1 regeneration (analytic series).
+// Figure 1 regeneration (analytic series) — a thin console wrapper over the
+// sweep engine: the same evaluate_bounds() that powers `memu_sweep` produces
+// every row here, so this bench can never drift from the sweep CSV.
 //
 // The paper's only figure plots normalized total-storage bounds against the
 // number of active writes for N = 21, f = 10:
@@ -9,31 +11,59 @@
 // the exact finite-|V| corollary values for B = 4096 to exhibit the
 // o(log|V|) corrections.
 #include <iostream>
+#include <vector>
 
 #include "bench_json.h"
 #include "bounds/bounds.h"
 #include "common/table.h"
+#include "sweep/fig1.h"
+#include "sweep/sweep.h"
+
+namespace {
+
+struct Fig1Row {
+  memu::sweep::Cell cell;
+  memu::sweep::BoundsRow bounds;
+};
+
+// Collects the Figure 1 series through the sweep engine's deterministic
+// row stream instead of computing it locally.
+class CollectSink : public memu::sweep::RowSink {
+ public:
+  std::vector<Fig1Row> rows;
+  void row(const memu::sweep::Cell& cell, const memu::sweep::BoundsRow& b,
+           const memu::sweep::MeasuredRow*) override {
+    rows.push_back({cell, b});
+  }
+};
+
+}  // namespace
 
 int main() {
   using namespace memu;
   using namespace memu::bounds;
 
-  constexpr std::size_t kN = 21, kF = 10, kNuMax = 16;
+  constexpr std::size_t kN = 21, kF = 10;
+
+  sweep::SweepOptions sopt;
+  sopt.grid = sweep::figure1_grid();
+  CollectSink series;
+  sweep::run_sweep(sopt, series);
 
   std::cout << "=== Figure 1: normalized total-storage cost, N=" << kN
             << ", f=" << kF << ", |V| -> inf ===\n\n";
 
   Table t({"nu", "ThmB.1", "Thm4.1", "Thm5.1", "Thm6.5", "ABD", "erasure"},
           10);
-  for (const auto& r : figure1_series(kN, kF, kNuMax)) {
+  for (const auto& r : series.rows) {
     t.row()
-        .cell(r.nu)
-        .cell(r.thm_b1)
-        .cell(r.thm_41)
-        .cell(r.thm_51)
-        .cell(r.thm_65)
-        .cell(r.abd)
-        .cell(r.erasure);
+        .cell(r.cell.nu)
+        .cell(r.bounds.thm_b1)
+        .cell(r.bounds.thm_41)
+        .cell(r.bounds.thm_51)
+        .cell(r.bounds.thm_65)
+        .cell(r.bounds.abd)
+        .cell(r.bounds.erasure);
   }
   t.print();
 
@@ -41,12 +71,15 @@ int main() {
             << " Thm5.1 = 42/13 = 3.231; Thm6.5 plateaus at f+1 = 11 for"
             << " nu >= 11; erasure crosses ABD between nu = 5 and 6.\n";
 
-  // Machine-readable block for replotting the figure.
+  // Machine-readable block for replotting the figure; same digits as the
+  // committed bench/fig1/fig1_data.csv (both go through format_value).
   std::cout << "\n# CSV: nu,thm_b1,thm_41,thm_51,thm_65,abd,erasure\n";
-  for (const auto& r : figure1_series(kN, kF, kNuMax)) {
-    std::cout << r.nu << ',' << r.thm_b1 << ',' << r.thm_41 << ','
-              << r.thm_51 << ',' << r.thm_65 << ',' << r.abd << ','
-              << r.erasure << '\n';
+  for (const auto& r : series.rows) {
+    std::cout << r.cell.nu;
+    for (const double v : {r.bounds.thm_b1, r.bounds.thm_41, r.bounds.thm_51,
+                           r.bounds.thm_65, r.bounds.abd, r.bounds.erasure})
+      std::cout << ',' << sweep::format_value(v);
+    std::cout << '\n';
   }
 
   std::cout << "\n=== Exact corollary values for B = log2|V| = 4096 bits "
@@ -89,22 +122,22 @@ int main() {
                "(max = B >= all of the above); CAS's per-server peak is "
                "(nu+1)B/k.\n";
 
-  benchjson::Json series = benchjson::Json::array();
-  for (const auto& r : figure1_series(kN, kF, kNuMax)) {
-    series.push(benchjson::Json::object()
-                    .set("nu", r.nu)
-                    .set("thm_b1", r.thm_b1)
-                    .set("thm_41", r.thm_41)
-                    .set("thm_51", r.thm_51)
-                    .set("thm_65", r.thm_65)
-                    .set("abd", r.abd)
-                    .set("erasure", r.erasure));
+  benchjson::Json rows = benchjson::Json::array();
+  for (const auto& r : series.rows) {
+    rows.push(benchjson::Json::object()
+                  .set("nu", r.cell.nu)
+                  .set("thm_b1", r.bounds.thm_b1)
+                  .set("thm_41", r.bounds.thm_41)
+                  .set("thm_51", r.bounds.thm_51)
+                  .set("thm_65", r.bounds.thm_65)
+                  .set("abd", r.bounds.abd)
+                  .set("erasure", r.bounds.erasure));
   }
   benchjson::write("fig1_storage_bounds",
                    benchjson::Json::object()
                        .set("bench", "fig1_storage_bounds")
                        .set("n", kN)
                        .set("f", kF)
-                       .set("series", series));
+                       .set("series", rows));
   return 0;
 }

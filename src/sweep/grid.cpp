@@ -1,0 +1,131 @@
+#include "sweep/grid.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace memu::sweep {
+
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::size_t parse_num(const std::string& tok, const std::string& where) {
+  MEMU_CHECK_MSG(!tok.empty(), "--grid: empty number in '" << where << "'");
+  std::size_t v = 0;
+  for (const char c : tok) {
+    MEMU_CHECK_MSG(c >= '0' && c <= '9',
+                   "--grid: non-numeric '" << tok << "' in '" << where << "'");
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    MEMU_CHECK_MSG(v <= (SIZE_MAX - digit) / 10,
+                   "--grid: value overflows in '" << where << "'");
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+Axis parse_axis(const std::string& spec, const std::string& where) {
+  std::vector<std::string> parts;
+  std::stringstream ss(spec);
+  std::string tok;
+  while (std::getline(ss, tok, ':')) parts.push_back(tok);
+  if (!spec.empty() && spec.back() == ':') parts.push_back("");
+  MEMU_CHECK_MSG(!parts.empty() && parts.size() <= 3,
+                 "--grid: axis wants lo[:hi[:step]], got '" << where << "'");
+  Axis a;
+  a.lo = parse_num(parts[0], where);
+  a.hi = parts.size() >= 2 ? parse_num(parts[1], where) : a.lo;
+  a.step = parts.size() >= 3 ? parse_num(parts[2], where) : 1;
+  MEMU_CHECK_MSG(a.lo >= 1, "--grid: axis lower bound must be >= 1 in '"
+                                << where << "'");
+  MEMU_CHECK_MSG(a.hi >= a.lo,
+                 "--grid: hi < lo in '" << where << "'");
+  MEMU_CHECK_MSG(a.step >= 1, "--grid: step must be >= 1 in '" << where << "'");
+  return a;
+}
+
+}  // namespace
+
+std::string Axis::to_string() const {
+  std::string s = std::to_string(lo);
+  if (hi != lo) {
+    s += ':' + std::to_string(hi);
+    if (step != 1) s += ':' + std::to_string(step);
+  }
+  return s;
+}
+
+GridSpec GridSpec::parse(const std::string& text) {
+  MEMU_CHECK_MSG(!text.empty(), "--grid: empty spec");
+  GridSpec g;
+  bool seen_n = false, seen_f = false, seen_nu = false, seen_logv = false;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    MEMU_CHECK_MSG(!item.empty(), "--grid: empty axis entry in '" << text << "'");
+    const std::size_t eq = item.find('=');
+    MEMU_CHECK_MSG(eq != std::string::npos && eq > 0,
+                   "--grid: axis wants name=lo[:hi[:step]], got '" << item
+                                                                  << "'");
+    const std::string name = lower(item.substr(0, eq));
+    const std::string spec = item.substr(eq + 1);
+    const Axis axis = parse_axis(spec, item);
+    if (name == "n") {
+      MEMU_CHECK_MSG(!seen_n, "--grid: duplicate axis N");
+      g.n = axis;
+      seen_n = true;
+    } else if (name == "f") {
+      MEMU_CHECK_MSG(!seen_f, "--grid: duplicate axis f");
+      g.f = axis;
+      seen_f = true;
+    } else if (name == "nu") {
+      MEMU_CHECK_MSG(!seen_nu, "--grid: duplicate axis nu");
+      g.nu = axis;
+      seen_nu = true;
+    } else if (name == "logv" || name == "b") {
+      MEMU_CHECK_MSG(!seen_logv, "--grid: duplicate axis logV");
+      g.logv = axis;
+      seen_logv = true;
+    } else {
+      MEMU_CHECK_MSG(false, "--grid: unknown axis '" << item.substr(0, eq)
+                                                     << "' (want N, f, nu, "
+                                                        "logV)");
+    }
+  }
+  return g;
+}
+
+std::size_t GridSpec::cells() const {
+  const std::size_t counts[4] = {n.count(), f.count(), nu.count(),
+                                 logv.count()};
+  std::size_t total = 1;
+  for (const std::size_t c : counts) {
+    MEMU_CHECK_MSG(c == 0 || total <= SIZE_MAX / c, "--grid: cell count overflows");
+    total *= c;
+  }
+  return total;
+}
+
+Cell GridSpec::cell(std::size_t index) const {
+  MEMU_CHECK(index < cells());
+  const std::size_t nl = logv.count(), nn = nu.count(), ff = f.count();
+  Cell c;
+  c.log2_v = logv.at(index % nl);
+  index /= nl;
+  c.nu = nu.at(index % nn);
+  index /= nn;
+  c.f = f.at(index % ff);
+  index /= ff;
+  c.n = n.at(index);
+  return c;
+}
+
+std::string GridSpec::to_string() const {
+  return "N=" + n.to_string() + ",f=" + f.to_string() + ",nu=" +
+         nu.to_string() + ",logV=" + logv.to_string();
+}
+
+}  // namespace memu::sweep

@@ -1,0 +1,75 @@
+// Parameter-grid specification for batch sweeps over (N, f, nu, log2|V|).
+//
+// A sweep evaluates every closed-form bound (and, optionally, every
+// simulated algorithm) at every point of a 4-axis integer grid. The grid is
+// given on the command line as
+//
+//     --grid N=3:21:2,f=1:10,nu=1:20,logV=1:50
+//
+// where each axis is `name=lo[:hi[:step]]` (inclusive bounds, positive
+// step; `hi` defaults to `lo`, `step` to 1) and omitted axes keep the
+// Figure 1 defaults (N=21, f=10, nu=1:16, logV=960). Axis names are
+// case-insensitive; `N` and `logV` also accept `n` and `logv`/`b`.
+// Malformed specs throw ContractError — a silently misread grid would
+// produce a plausible-looking but wrong dataset, so every parse failure is
+// loud and names the offending token.
+//
+// Cell enumeration order is part of the output contract: cells are
+// produced in row-major order with N outermost, then f, then nu, then
+// logV innermost, and cell(i) is a pure function of the spec — this is
+// what lets the sweep engine shard blocks of cells across threads and
+// still emit byte-identical CSV/JSON at any thread count. Cells with
+// N <= f (no bound is defined) are skipped during evaluation but still
+// occupy grid indices, keeping the index arithmetic trivial.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/check.h"
+
+namespace memu::sweep {
+
+// One inclusive integer range lo..hi advancing by step.
+struct Axis {
+  std::size_t lo = 1, hi = 1, step = 1;
+
+  std::size_t count() const {
+    MEMU_CHECK(step >= 1 && hi >= lo);
+    return (hi - lo) / step + 1;
+  }
+  std::size_t at(std::size_t i) const { return lo + i * step; }
+  std::string to_string() const;
+};
+
+// One evaluation point. log2_v is in bits (the logV axis).
+struct Cell {
+  std::size_t n = 0, f = 0, nu = 0, log2_v = 0;
+
+  // Whether any bound is defined at all (the row-emission gate).
+  bool valid() const { return n > f && nu >= 1 && log2_v >= 1; }
+};
+
+struct GridSpec {
+  Axis n{21, 21, 1};
+  Axis f{10, 10, 1};
+  Axis nu{1, 16, 1};
+  Axis logv{960, 960, 1};
+
+  // Parses the --grid grammar above. Throws ContractError on unknown axis
+  // names, duplicate axes, non-numeric bounds, step == 0, hi < lo, or a
+  // zero lo (every axis is >= 1).
+  static GridSpec parse(const std::string& text);
+
+  // Total number of grid indices (including invalid N <= f cells).
+  std::size_t cells() const;
+
+  // The cell at row-major index i (N outer, f, nu, logV inner).
+  Cell cell(std::size_t index) const;
+
+  // Canonical rendering, re-parseable by parse(). Used in output headers,
+  // so it must not depend on anything but the grid itself.
+  std::string to_string() const;
+};
+
+}  // namespace memu::sweep

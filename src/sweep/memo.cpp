@@ -1,0 +1,80 @@
+#include "sweep/memo.h"
+
+#include <bit>
+
+namespace memu::sweep {
+
+namespace {
+
+std::size_t floor_pow2(std::size_t v) {
+  return v == 0 ? 0 : std::size_t{1} << (std::bit_width(v) - 1);
+}
+
+}  // namespace
+
+MemoTable::MemoTable(std::size_t budget_bytes) : budgeted_(budget_bytes != 0) {
+  std::size_t slots = kMinSlots;
+  if (budgeted_) {
+    // Fit the slot array to the budget up front, mccortex-style; even a
+    // tiny budget keeps a (useless but harmless) minimum table rather than
+    // dividing by zero on every probe.
+    slots = std::max(kMinSlots, floor_pow2(budget_bytes / sizeof(Slot)));
+  }
+  slots_.resize(slots);
+}
+
+bool MemoTable::lookup(const MemoKey& key, MeasuredRow& out) {
+  const std::uint64_t fp = key.fingerprint();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t i = fp & mask;; i = (i + 1) & mask) {
+    const Slot& s = slots_[i];
+    if (s.fp == 0) {
+      ++misses_;
+      return false;
+    }
+    if (s.fp == fp && s.key == key) {
+      ++hits_;
+      out = s.row;
+      return true;
+    }
+  }
+}
+
+void MemoTable::insert(const MemoKey& key, const MeasuredRow& row) {
+  const std::uint64_t fp = key.fingerprint();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size_ + 1 > slots_.size() * kLoadNum / kLoadDen) {
+    if (budgeted_ || !grow_locked()) {
+      ++dropped_;
+      return;
+    }
+  }
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t i = fp & mask;; i = (i + 1) & mask) {
+    Slot& s = slots_[i];
+    if (s.fp == fp && s.key == key) return;  // racing workers, same value
+    if (s.fp == 0) {
+      s.fp = fp;
+      s.key = key;
+      s.row = row;
+      ++size_;
+      return;
+    }
+  }
+}
+
+bool MemoTable::grow_locked() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  const std::size_t mask = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.fp == 0) continue;
+    std::size_t i = s.fp & mask;
+    while (slots_[i].fp != 0) i = (i + 1) & mask;
+    slots_[i] = s;
+  }
+  return true;
+}
+
+}  // namespace memu::sweep

@@ -1,0 +1,93 @@
+// Memoization table for simulated sweep cells.
+//
+// Simulation is the expensive half of a sweep (a parked-writes run at
+// N = 21 costs milliseconds; a closed-form bound costs nanoseconds), and
+// adjacent grid cells frequently map to the SAME simulation: the measured
+// columns depend on (N, f, k, nu, value_size) only, and value_size is
+// ceil(logV / 8) clamped to the simulator minimum — so a logV axis sweeps
+// eight bit-widths into one byte bucket, and repeated queries over
+// overlapping grids hit outright. The table caches one MeasuredRow per
+// distinct simulation config.
+//
+// Budget contract (the same one --mem enforces everywhere else): a budgeted
+// table sizes its slot array to its share of the budget UP FRONT and never
+// grows; when the load limit is reached further inserts are dropped and
+// counted (a memo is an optimization — dropping an insert costs time, never
+// correctness). Unbudgeted tables double on demand. Lookups compare the
+// full key, not just its fingerprint, so a fingerprint collision can never
+// substitute one cell's measurement for another's.
+//
+// Thread safety: one mutex around the whole table. Simulation dominates the
+// critical section by orders of magnitude, and correctness never depends on
+// hit/miss interleaving — a worker that misses recomputes the same pure
+// function. Hit/miss/drop counts are therefore scheduling-dependent in
+// parallel runs and are reported on stderr only, never in sweep output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace memu::sweep {
+
+// The simulation configuration a measured row is keyed on.
+struct MemoKey {
+  std::uint32_t n = 0, f = 0, k = 0, nu = 0, value_size = 0;
+
+  bool operator==(const MemoKey&) const = default;
+
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (const std::uint32_t v : {n, f, k, nu, value_size})
+      h = mix64(h ^ (v + 0x517cc1b727220a95ull));
+    return h == 0 ? 1 : h;  // 0 marks an empty slot
+  }
+};
+
+// Measured columns of one cell; NaN = inapplicable at this config.
+struct MeasuredRow {
+  double abd = 0, cas = 0, casgc = 0, ldr = 0;
+};
+
+class MemoTable {
+ public:
+  // budget_bytes == 0: unbudgeted, starts small and doubles on demand.
+  // Nonzero: slot capacity fitted to the budget up front, inserts dropped
+  // (and counted) once the load limit is hit.
+  explicit MemoTable(std::size_t budget_bytes);
+
+  // On hit copies the cached row into `out`.
+  bool lookup(const MemoKey& key, MeasuredRow& out);
+  void insert(const MemoKey& key, const MeasuredRow& row);
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const { return size_; }
+  std::size_t memory_bytes() const { return slots_.size() * sizeof(Slot); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t dropped_inserts() const { return dropped_; }
+
+ private:
+  struct Slot {
+    std::uint64_t fp = 0;  // 0 = empty
+    MemoKey key;
+    MeasuredRow row;
+  };
+
+  static constexpr std::size_t kMinSlots = 64;
+  // Same load limit as the engine's open-addressed VisitedSet.
+  static constexpr std::size_t kLoadNum = 3, kLoadDen = 4;
+
+  bool grow_locked();
+
+  std::mutex mu_;
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  bool budgeted_ = false;
+  std::uint64_t hits_ = 0, misses_ = 0, dropped_ = 0;
+};
+
+}  // namespace memu::sweep

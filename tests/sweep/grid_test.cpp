@@ -1,0 +1,121 @@
+#include "sweep/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace memu::sweep {
+namespace {
+
+TEST(Axis, CountAndAt) {
+  const Axis a{3, 21, 2};
+  EXPECT_EQ(a.count(), 10u);
+  EXPECT_EQ(a.at(0), 3u);
+  EXPECT_EQ(a.at(9), 21u);
+  const Axis single{7, 7, 1};
+  EXPECT_EQ(single.count(), 1u);
+  EXPECT_EQ(single.at(0), 7u);
+  // Inclusive bounds: a step that overshoots hi still counts the cells
+  // actually landed on.
+  const Axis overshoot{1, 10, 4};  // 1, 5, 9
+  EXPECT_EQ(overshoot.count(), 3u);
+  EXPECT_EQ(overshoot.at(2), 9u);
+}
+
+TEST(GridSpec, ParseFullSpec) {
+  const GridSpec g = GridSpec::parse("N=3:21:2,f=1:10,nu=1:20,logV=1:50");
+  EXPECT_EQ(g.n.lo, 3u);
+  EXPECT_EQ(g.n.hi, 21u);
+  EXPECT_EQ(g.n.step, 2u);
+  EXPECT_EQ(g.f.lo, 1u);
+  EXPECT_EQ(g.f.hi, 10u);
+  EXPECT_EQ(g.nu.hi, 20u);
+  EXPECT_EQ(g.logv.hi, 50u);
+  // The issue's example grid is exactly the 100k-cell CI smoke.
+  EXPECT_EQ(g.cells(), 100000u);
+}
+
+TEST(GridSpec, OmittedAxesKeepFigure1Defaults) {
+  const GridSpec g = GridSpec::parse("nu=1:20");
+  EXPECT_EQ(g.n.lo, 21u);
+  EXPECT_EQ(g.n.hi, 21u);
+  EXPECT_EQ(g.f.lo, 10u);
+  EXPECT_EQ(g.nu.hi, 20u);
+  EXPECT_EQ(g.logv.lo, 960u);
+}
+
+TEST(GridSpec, AxisNamesCaseInsensitiveAndAliased) {
+  const GridSpec g = GridSpec::parse("n=5,F=2,NU=3,b=64");
+  EXPECT_EQ(g.n.lo, 5u);
+  EXPECT_EQ(g.f.lo, 2u);
+  EXPECT_EQ(g.nu.lo, 3u);
+  EXPECT_EQ(g.logv.lo, 64u);
+}
+
+TEST(GridSpec, HiDefaultsToLoAndStepToOne) {
+  const GridSpec g = GridSpec::parse("N=9,f=2:4");
+  EXPECT_EQ(g.n.hi, 9u);
+  EXPECT_EQ(g.n.step, 1u);
+  EXPECT_EQ(g.f.step, 1u);
+}
+
+TEST(GridSpec, ToStringRoundTrips) {
+  const GridSpec g = GridSpec::parse("N=3:21:2,f=1:10,nu=1:20,logV=1:50");
+  const GridSpec again = GridSpec::parse(g.to_string());
+  EXPECT_EQ(again.to_string(), g.to_string());
+  EXPECT_EQ(again.cells(), g.cells());
+  // Defaults render canonically too.
+  EXPECT_EQ(GridSpec().to_string(), "N=21,f=10,nu=1:16,logV=960");
+}
+
+// Cell enumeration order is part of the sweep output contract: row-major
+// with N outermost, then f, then nu, then logV innermost.
+TEST(GridSpec, RowMajorOrderLogVInnermost) {
+  const GridSpec g = GridSpec::parse("N=3:5:2,f=1:2,nu=1:2,logV=8:16:8");
+  ASSERT_EQ(g.cells(), 16u);
+  std::vector<Cell> expected;
+  for (std::size_t n : {3u, 5u})
+    for (std::size_t f : {1u, 2u})
+      for (std::size_t nu : {1u, 2u})
+        for (std::size_t lv : {8u, 16u})
+          expected.push_back(Cell{n, f, nu, lv});
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const Cell c = g.cell(i);
+    EXPECT_EQ(c.n, expected[i].n) << "index " << i;
+    EXPECT_EQ(c.f, expected[i].f) << "index " << i;
+    EXPECT_EQ(c.nu, expected[i].nu) << "index " << i;
+    EXPECT_EQ(c.log2_v, expected[i].log2_v) << "index " << i;
+  }
+}
+
+TEST(GridSpec, InvalidCellsStillOccupyIndices) {
+  // N=3 with f up to 5: f >= 3 leaves no correct protocol (N <= f), but
+  // the indices stay dense so sharding arithmetic never special-cases.
+  const GridSpec g = GridSpec::parse("N=3,f=1:5,nu=1,logV=8");
+  ASSERT_EQ(g.cells(), 5u);
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < g.cells(); ++i) valid += g.cell(i).valid();
+  EXPECT_EQ(valid, 2u);
+}
+
+TEST(GridSpec, ParseErrorsAreLoud) {
+  EXPECT_THROW(GridSpec::parse(""), ContractError);
+  EXPECT_THROW(GridSpec::parse("Q=1:4"), ContractError);        // unknown axis
+  EXPECT_THROW(GridSpec::parse("N=3,N=5"), ContractError);      // duplicate
+  EXPECT_THROW(GridSpec::parse("N=banana"), ContractError);     // non-numeric
+  EXPECT_THROW(GridSpec::parse("N=3:9:0"), ContractError);      // step 0
+  EXPECT_THROW(GridSpec::parse("N=9:3"), ContractError);        // hi < lo
+  EXPECT_THROW(GridSpec::parse("N=0:4"), ContractError);        // lo 0
+  EXPECT_THROW(GridSpec::parse("N3:4"), ContractError);         // missing =
+  EXPECT_THROW(GridSpec::parse("=3"), ContractError);           // empty name
+  EXPECT_THROW(GridSpec::parse("N=3:"), ContractError);         // empty number
+  EXPECT_THROW(GridSpec::parse("N=1:2:3:4"), ContractError);    // 4 fields
+  EXPECT_THROW(GridSpec::parse("N=3,,f=2"), ContractError);     // empty entry
+  EXPECT_THROW(GridSpec::parse("N=99999999999999999999"),
+               ContractError);                                  // overflow
+}
+
+}  // namespace
+}  // namespace memu::sweep

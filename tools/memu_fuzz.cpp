@@ -29,11 +29,13 @@
 #include <chrono>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/arena.h"
+#include "common/env.h"
 #include "engine/thread_pool.h"
 #include "fuzz/campaign.h"
 #include "fuzz/minimizer.h"
@@ -58,7 +60,20 @@ struct Args {
     const auto it = flags.find(f);
     return it == flags.end() ? fallback : it->second;
   }
+  std::optional<std::string> opt(const std::string& f) const {
+    const auto it = flags.find(f);
+    if (it == flags.end()) return std::nullopt;
+    return it->second;
+  }
 };
+
+// --mem under the common/env.h flag-wins rule: the flag, else
+// MEMU_MEM_BUDGET, else unbudgeted.
+std::optional<MemBudget> mem_budget(const Args& a) {
+  const MemBudget mem = env::mem_budget_or(a.opt("mem"));
+  if (!mem.bounded()) return std::nullopt;
+  return mem;
+}
 
 Args parse(int argc, char** argv) {
   Args a;
@@ -156,8 +171,8 @@ int cmd_run(const Args& a) {
     plan.mix = mix;
     plan.minimize = !a.has("no-minimize");
     plan.threads = a.num("threads", engine::default_worker_count());
-    if (a.has("mem")) {
-      plan.mem = MemBudget::parse(a.flags.at("mem"));
+    if (const auto mem = mem_budget(a)) {
+      plan.mem = *mem;
       // An explicit budget also caps the World slab pages (process blocks,
       // channel slots, oplog chunks) so a runaway walk fails in --mem terms
       // instead of OOMing.
@@ -223,10 +238,10 @@ int cmd_shrink(const Args& a) {
   if (a.positional.size() < 2) return usage();
   const FuzzTrace trace = load_trace(a.positional[1]);
   const std::size_t threads = a.num("threads", engine::default_worker_count());
-  if (a.has("mem")) {
+  if (const auto memopt = mem_budget(a)) {
     // Same up-front envelope gate as run_campaign: ddmin probes are
     // walk-shaped replays, one per worker at a time.
-    const MemBudget mem = MemBudget::parse(a.flags.at("mem"));
+    const MemBudget mem = *memopt;
     constexpr std::size_t kWalkEnvelopeBytes = 4ull << 20;
     MEMU_CHECK_MSG(mem.total >= threads * kWalkEnvelopeBytes,
                    "--mem " << mem.to_string() << " cannot cover " << threads
